@@ -1,0 +1,57 @@
+"""Fig. 3 — trade-off between throughput and active power vs neurons/core.
+
+Paper: sweeping 5..30 neurons per core while training 10 000 samples,
+execution time rises (~150 -> 400 s), active power falls (cores are power
+gated), occupied cores fall (~45 -> 10), and energy/sample passes through a
+minimum; DFA consistently uses fewer cores and less power than FA at every
+packing level, with similar throughput.
+"""
+
+from repro.analysis import (as_series, best_energy_point, format_series,
+                            sweep_neurons_per_core)
+from repro.core import loihi_default_config
+
+DIMS = (128, 100, 10)
+PACKINGS = (5, 10, 15, 20, 25, 30)
+N_SAMPLES = 10_000
+
+
+def _run_sweep():
+    out = {}
+    for feedback in ("fa", "dfa"):
+        cfg = loihi_default_config(seed=1, feedback=feedback)
+        out[feedback] = sweep_neurons_per_core(
+            DIMS, cfg, packings=PACKINGS, n_samples=N_SAMPLES)
+        print()
+        print(format_series(as_series(out[feedback]),
+                            title=f"Fig. 3 series — {feedback.upper()} "
+                                  f"(training {N_SAMPLES} samples)",
+                            x_key="neurons_per_core"))
+        best = best_energy_point(out[feedback])
+        print(f"energy-optimal packing ({feedback}): "
+              f"{best.neurons_per_core} neurons/core "
+              f"({best.energy_per_sample_mj:.2f} mJ/sample)")
+    return out
+
+
+def bench_fig3(benchmark):
+    results = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    for feedback, points in results.items():
+        times = [p.time_s for p in points]
+        powers = [p.active_power_w for p in points]
+        cores = [p.cores_used for p in points]
+        # Monotone trends of Fig. 3.
+        assert times == sorted(times), f"{feedback}: time must rise"
+        assert powers == sorted(powers, reverse=True), \
+            f"{feedback}: power must fall"
+        assert cores == sorted(cores, reverse=True), \
+            f"{feedback}: cores must fall"
+    # DFA strictly cheaper than FA at every packing level.
+    for pf, pd in zip(results["fa"], results["dfa"]):
+        assert pd.cores_used < pf.cores_used
+        assert pd.active_power_w < pf.active_power_w
+    # Energy/sample has an interior minimum for at least one mode (the
+    # falling-power and rising-time terms cross).
+    fa_energy = [p.energy_per_sample_mj for p in results["fa"]]
+    assert min(fa_energy) not in (fa_energy[0],), \
+        "energy minimum should be interior, not at the smallest packing"

@@ -1,0 +1,35 @@
+"""Fig. 3 in miniature: the neurons-per-core energy trade-off.
+
+Sweeps the packing of the trainable layers, prints time / power / cores /
+energy per sample for FA and DFA, and picks the energy-optimal packing the
+way the paper picked 10 neurons/core for Table II.
+
+Run:  python examples/mapping_tradeoff.py
+"""
+
+from repro.analysis import (as_series, ascii_plot, best_energy_point,
+                            format_series, sweep_neurons_per_core)
+from repro.core import loihi_default_config
+
+
+def main():
+    dims = (128, 100, 10)
+    for feedback in ("fa", "dfa"):
+        cfg = loihi_default_config(seed=1, feedback=feedback)
+        points = sweep_neurons_per_core(dims, cfg,
+                                        packings=(5, 10, 15, 20, 25, 30),
+                                        n_samples=10_000)
+        series = as_series(points)
+        print(format_series(series, title=f"=== {feedback.upper()} ===",
+                            x_key="neurons_per_core"))
+        print(ascii_plot(series["neurons_per_core"],
+                         series["energy_per_sample_mj"],
+                         label="energy per sample (mJ)"))
+        best = best_energy_point(points)
+        print(f"-> energy-optimal packing: {best.neurons_per_core} "
+              f"neurons/core, {best.cores_used} cores, "
+              f"{best.energy_per_sample_mj:.2f} mJ/sample\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — reproduction of "In-Hardware Learning of Multilayer Spiking
+Neural Networks on a Neuromorphic Processor" (DAC 2021).
+
+Subpackages
+-----------
+``repro.core``
+    The EMSTDP algorithm (full-precision reference implementation).
+``repro.loihi``
+    A Loihi-like core-based neuromorphic chip simulator: CUBA compartments,
+    8-bit synapses, trace counters, a sum-of-products microcode learning
+    engine, core mapping, and an energy model.
+``repro.onchip``
+    EMSTDP built on top of the chip simulator under hardware constraints.
+``repro.models``
+    Offline CNN substrate for pretraining the convolutional frontend and the
+    topology spec parser.
+``repro.data``
+    Synthetic stand-ins for MNIST / Fashion-MNIST / CIFAR-10 / MSTAR.
+``repro.incremental``
+    The two-step incremental online learning protocol of Section IV-B.
+``repro.baselines``
+    Analytic CPU/GPU cost models and a true-backprop ANN reference.
+``repro.analysis``
+    Metrics, trade-off sweeps and table formatting for the benchmarks.
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, baselines, core, data, incremental, loihi, models, onchip
+
+__all__ = ["analysis", "baselines", "core", "data", "incremental", "loihi",
+           "models", "onchip", "__version__"]

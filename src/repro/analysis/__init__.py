@@ -1,0 +1,12 @@
+"""Metrics, sweeps and formatting used by the benchmark harness."""
+
+from .metrics import (accuracy, confusion_matrix, per_class_accuracy,
+                      spike_sparsity, summarize_run)
+from .reporting import ascii_plot, format_series, format_table
+from .tradeoff import (TradeoffPoint, as_series, best_energy_point,
+                       sweep_neurons_per_core)
+
+__all__ = ["TradeoffPoint", "accuracy", "as_series", "ascii_plot",
+           "best_energy_point", "confusion_matrix", "format_series",
+           "format_table", "per_class_accuracy", "spike_sparsity",
+           "summarize_run", "sweep_neurons_per_core"]

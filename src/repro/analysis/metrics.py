@@ -1,0 +1,46 @@
+"""Evaluation metrics and result containers shared by the benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def accuracy(predictions: Sequence[int], labels: Sequence[int]) -> float:
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must align")
+    if len(labels) == 0:
+        raise ValueError("empty evaluation set")
+    return float((predictions == labels).mean())
+
+
+def confusion_matrix(predictions: Sequence[int], labels: Sequence[int],
+                     n_classes: int) -> np.ndarray:
+    cm = np.zeros((n_classes, n_classes), dtype=np.int64)
+    for p, t in zip(predictions, labels):
+        cm[int(t), int(p)] += 1
+    return cm
+
+
+def per_class_accuracy(cm: np.ndarray) -> np.ndarray:
+    totals = cm.sum(axis=1)
+    with np.errstate(invalid="ignore"):
+        acc = np.where(totals > 0, np.diag(cm) / np.maximum(totals, 1), np.nan)
+    return acc
+
+
+def spike_sparsity(rates: np.ndarray) -> float:
+    """Fraction of silent neurons — the sparsity Loihi's energy rides on."""
+    rates = np.asarray(rates)
+    if rates.size == 0:
+        raise ValueError("empty rates")
+    return float((rates == 0).mean())
+
+
+def summarize_run(name: str, **fields) -> Dict[str, object]:
+    out = {"name": name}
+    out.update(fields)
+    return out

@@ -1,0 +1,64 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+The benchmarks print the same rows/series the paper reports; these helpers
+keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width table with a separator under the header."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows
+              else len(h) for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: Dict[str, List[float]], title: str = "",
+                  x_key: str = None) -> str:
+    """Columnar rendering of named series (one figure's data)."""
+    keys = list(series.keys())
+    if x_key and x_key in keys:
+        keys.remove(x_key)
+        keys.insert(0, x_key)
+    n = max(len(series[k]) for k in keys)
+    rows = [[series[k][i] if i < len(series[k]) else "" for k in keys]
+            for i in range(n)]
+    return format_table(keys, rows, title=title)
+
+
+def ascii_plot(xs: Sequence[float], ys: Sequence[float], width: int = 60,
+               height: int = 14, label: str = "") -> str:
+    """Rough terminal scatter/line plot for eyeballing figure shapes."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("xs and ys must be equal-length, non-empty")
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xr = (x1 - x0) or 1.0
+    yr = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x0) / xr * (width - 1))
+        row = height - 1 - int((y - y0) / yr * (height - 1))
+        grid[row][col] = "*"
+    lines = [f"{label}  (y: {y0:.3g}..{y1:.3g}, x: {x0:.3g}..{x1:.3g})"]
+    lines += ["|" + "".join(r) for r in grid]
+    lines.append("+" + "-" * width)
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,87 @@
+"""The Fig. 3 neurons-per-core trade-off sweep.
+
+For each packing level the network is re-compiled onto a fresh chip and the
+energy model evaluates: total training time for N samples, active power,
+energy per sample, and occupied cores — the four series of Fig. 3, for both
+FA and DFA.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import EMSTDPConfig
+from ..loihi.chip import LoihiChip
+from ..loihi.energy import EnergyModel, RunStats
+from ..onchip.builder import build_emstdp_network
+
+
+@dataclasses.dataclass
+class TradeoffPoint:
+    """One x-position of Fig. 3."""
+
+    neurons_per_core: int
+    feedback: str
+    cores_used: int
+    time_s: float
+    active_power_w: float
+    energy_per_sample_mj: float
+
+
+def sweep_neurons_per_core(dims: Sequence[int], config: EMSTDPConfig,
+                           packings: Sequence[int] = (5, 10, 15, 20, 25, 30),
+                           n_samples: int = 10_000,
+                           energy_model: Optional[EnergyModel] = None,
+                           syn_event_rate: float = 0.1,
+                           ) -> List[TradeoffPoint]:
+    """Fig. 3 series for one feedback mode (``config.feedback``).
+
+    ``syn_event_rate`` is the average firing probability used to estimate
+    synaptic event counts (the dynamic-power term); Fig. 3's shape is
+    dominated by the static per-core power and the step-time scaling.
+    """
+    if energy_model is None:
+        energy_model = EnergyModel()
+    points: List[TradeoffPoint] = []
+    for packing in packings:
+        model = build_emstdp_network(dims, config)
+        mapping = model.network.compile(LoihiChip(), neurons_per_core=packing)
+        steps = 2 * config.T * n_samples
+        n_syn = model.network.n_synapses()
+        stats = RunStats(
+            steps=steps, samples=n_samples,
+            spikes=int(model.network.n_compartments() * steps
+                       * syn_event_rate),
+            syn_events=int(n_syn * steps * syn_event_rate),
+            learning_epochs=2 * n_samples,
+            plastic_synapses=model.network.n_plastic_synapses(),
+        )
+        report = energy_model.report(
+            stats, cores_used=mapping.cores_used,
+            max_compartments_per_core=mapping.max_compartments_sweep_cores,
+            compartments=model.network.n_compartments(), learning=True)
+        points.append(TradeoffPoint(
+            neurons_per_core=packing,
+            feedback=config.feedback,
+            cores_used=mapping.cores_used,
+            time_s=report.total_time_s,
+            active_power_w=report.power_w,
+            energy_per_sample_mj=report.energy_per_sample_mj,
+        ))
+    return points
+
+
+def best_energy_point(points: Sequence[TradeoffPoint]) -> TradeoffPoint:
+    """The packing the paper would pick for Table II (min energy/sample)."""
+    return min(points, key=lambda p: p.energy_per_sample_mj)
+
+
+def as_series(points: Sequence[TradeoffPoint]) -> Dict[str, List[float]]:
+    return {
+        "neurons_per_core": [p.neurons_per_core for p in points],
+        "time_s": [p.time_s for p in points],
+        "active_power_w": [p.active_power_w for p in points],
+        "energy_per_sample_mj": [p.energy_per_sample_mj for p in points],
+        "cores_used": [p.cores_used for p in points],
+    }

@@ -1,0 +1,8 @@
+"""Comparison baselines: analytic CPU/GPU cost models and a backprop MLP."""
+
+from .hardware_model import (DeviceSpec, I7_8700, RTX_5000, device_report,
+                             snn_macs_per_sample)
+from .rate_ann import BackpropMLP
+
+__all__ = ["BackpropMLP", "DeviceSpec", "I7_8700", "RTX_5000",
+           "device_report", "snn_macs_per_sample"]

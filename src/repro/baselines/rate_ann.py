@@ -1,0 +1,60 @@
+"""A plain rate ANN trained with true backpropagation.
+
+Not part of the paper's tables — a sanity baseline: EMSTDP is an
+*approximation* of backprop, so its accuracy should approach (and not
+exceed by much) an equally sized ANN trained with exact gradients on the
+same stream.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class BackpropMLP:
+    """Minimal MLP (ReLU hidden, softmax output), online SGD, batch 1."""
+
+    def __init__(self, dims: Sequence[int], lr: float = 0.05, seed: int = 0):
+        dims = tuple(int(d) for d in dims)
+        if len(dims) < 2:
+            raise ValueError("need at least input and output layers")
+        self.dims = dims
+        self.lr = float(lr)
+        rng = np.random.default_rng(seed)
+        self.weights = [rng.normal(0, np.sqrt(2.0 / a), size=(a, b))
+                        for a, b in zip(dims[:-1], dims[1:])]
+        self.biases = [np.zeros(b) for b in dims[1:]]
+
+    def _forward(self, x: np.ndarray):
+        acts = [np.asarray(x, dtype=float)]
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = acts[-1] @ w + b
+            acts.append(np.maximum(z, 0) if i < len(self.weights) - 1 else z)
+        return acts
+
+    def predict(self, x: np.ndarray) -> int:
+        return int(np.argmax(self._forward(x)[-1]))
+
+    def train_sample(self, x: np.ndarray, label: int) -> bool:
+        acts = self._forward(x)
+        logits = acts[-1]
+        p = np.exp(logits - logits.max())
+        p /= p.sum()
+        grad = p.copy()
+        grad[label] -= 1.0
+        for i in range(len(self.weights) - 1, -1, -1):
+            self.weights[i] -= self.lr * np.outer(acts[i], grad)
+            self.biases[i] -= self.lr * grad
+            if i > 0:
+                grad = (grad @ self.weights[i].T) * (acts[i] > 0)
+        return int(np.argmax(logits)) == label
+
+    def train_stream(self, xs, ys) -> float:
+        correct = sum(self.train_sample(x, int(y)) for x, y in zip(xs, ys))
+        return correct / max(len(xs), 1)
+
+    def evaluate(self, xs, ys) -> float:
+        correct = sum(self.predict(x) == int(y) for x, y in zip(xs, ys))
+        return correct / max(len(xs), 1)

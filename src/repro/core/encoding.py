@@ -1,0 +1,94 @@
+"""Input and label encodings.
+
+The paper's key I/O optimisation (Section III-D) is to program the *bias* of
+the input-layer neurons with the real-valued input instead of streaming
+rate-coded spikes from the host: an IF neuron with constant bias ``i``
+integrates ``i`` per step and fires at rate ``floor(i*T/theta)/T``, linearly
+proportional to the input, at the cost of a single host→chip write per
+sample.  Both encodings are implemented here so their I/O cost and accuracy
+can be compared (see ``benchmarks/bench_ablation_input_encoding.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def quantize_to_bins(x: np.ndarray, T: int) -> np.ndarray:
+    """Quantize real inputs in [0, 1] to the ``T``-level grid of one phase.
+
+    This is the "Quantize x to T bins" step of Operation Flow 1: with a phase
+    of ``T`` steps a neuron can only express ``T + 1`` distinct rates, so any
+    finer input resolution is unrepresentable.
+    """
+    x = np.asarray(x, dtype=float)
+    if T < 1:
+        raise ValueError("T must be >= 1")
+    return np.clip(np.round(x * T), 0, T) / T
+
+
+def bias_encode(x: np.ndarray, T: int) -> np.ndarray:
+    """Return the per-step bias drive realizing rate ``quantize_to_bins(x)``.
+
+    In normalized units (threshold 1) the bias equals the desired rate, so
+    the encoding is the quantized input itself.  Kept as its own function so
+    the on-chip implementation, where bias is an integer mantissa/exponent
+    pair, has a single place to translate.
+    """
+    return quantize_to_bins(x, T)
+
+
+def rate_encode_spikes(x: np.ndarray, T: int, rng: np.random.Generator = None,
+                       deterministic: bool = True) -> np.ndarray:
+    """Expand inputs into an explicit ``(T, n)`` spike train.
+
+    ``deterministic`` uses evenly spaced spikes (what an IF neuron with a
+    constant bias produces); otherwise each step is an independent Bernoulli
+    draw with probability ``x`` (classic Poisson-style rate coding).  The
+    deterministic train of ``rate_encode_spikes(x, T)`` sums to exactly
+    ``round(x*T)`` spikes.
+    """
+    x = np.asarray(x, dtype=float)
+    q = quantize_to_bins(x, T)
+    if deterministic:
+        # An IF neuron with constant drive q spikes at steps where the
+        # accumulated potential crosses an integer: cumsum crossing pattern.
+        steps = np.arange(1, T + 1)[:, None]
+        acc = steps * q[None, :] + 1e-9
+        train = np.floor(acc) - np.floor(acc - q[None, :])
+        return (train > 0).astype(np.int8)
+    if rng is None:
+        rng = np.random.default_rng()
+    return (rng.random((T, x.size)) < q[None, :]).astype(np.int8)
+
+
+def spike_train_io_events(x: np.ndarray, T: int) -> int:
+    """Host→chip events needed to stream ``x`` as an explicit spike train."""
+    q = quantize_to_bins(np.asarray(x, dtype=float), T)
+    return int(np.round(q * T).sum())
+
+
+def bias_io_events(x: np.ndarray, T: int) -> int:
+    """Host→chip events needed with bias programming: one write per neuron.
+
+    The paper counts this as "communicate with the chip only once for every
+    input sample"; per-neuron bias words are written in that single
+    transaction.
+    """
+    return int(np.asarray(x).size)
+
+
+def encode_label(label: int, n_classes: int, rate: float = 1.0) -> np.ndarray:
+    """One-hot target rate vector: the true class fires at ``rate``.
+
+    The label is inserted as a bias on the label neurons (Operation Flow 1),
+    so the target spike train ``h_hat`` of Eq. (6) is simply a neuron firing
+    at the maximum rate for the true class and silent neurons elsewhere.
+    """
+    if not 0 <= label < n_classes:
+        raise ValueError(f"label {label} out of range for {n_classes} classes")
+    if not 0.0 < rate <= 1.0:
+        raise ValueError("target rate must be in (0, 1]")
+    target = np.zeros(n_classes)
+    target[label] = rate
+    return target

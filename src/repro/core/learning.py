@@ -1,0 +1,87 @@
+"""The EMSTDP local weight-update rule in both its published forms.
+
+Eq. (7) — the algorithmic form:
+
+    dW = eta * (h_hat - h) (x) h_pre
+
+Eq. (12) — the Loihi sum-of-products form, which only uses quantities that
+exist at the *end of phase 2* (the pre-trace, the post-trace and the tag):
+
+    dW = 2*eta * h_hat (x) pre  -  eta * Z (x) pre,    Z = h_hat + h
+
+The two are algebraically identical when ``pre`` equals the phase-1
+presynaptic count; on the chip ``pre`` is the phase-2 pre-trace (which counts
+``h_hat_pre`` instead of ``h_pre``), an approximation this module lets you
+measure (see ``tests/test_learning.py`` and the trace ablation bench).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .quantize import quantize_weights
+
+
+def delta_w_reference(h_hat_post: np.ndarray, h_post: np.ndarray,
+                      h_pre: np.ndarray, eta: float) -> np.ndarray:
+    """Eq. (7): ``dW[i, j] = eta * (h_hat[j] - h[j]) * h_pre[i]``.
+
+    All rates normalized to [0, 1]; the result has shape
+    ``(len(h_pre), len(h_post))`` matching the forward weight layout
+    ``potential = rates_pre @ W``.
+    """
+    diff = np.asarray(h_hat_post, dtype=float) - np.asarray(h_post, dtype=float)
+    return eta * np.outer(np.asarray(h_pre, dtype=float), diff)
+
+
+def delta_w_loihi_form(h_hat_post: np.ndarray, z_post: np.ndarray,
+                       pre_trace: np.ndarray, eta: float) -> np.ndarray:
+    """Eq. (12): ``dW = 2*eta * h_hat (x) pre - eta * Z (x) pre``.
+
+    ``z_post`` is the tag variable ``Z = h_hat + h`` accumulated over both
+    phases; ``pre_trace`` is whatever the presynaptic trace holds at the end
+    of phase 2.
+    """
+    h_hat = np.asarray(h_hat_post, dtype=float)
+    z = np.asarray(z_post, dtype=float)
+    pre = np.asarray(pre_trace, dtype=float)
+    return np.outer(pre, 2.0 * eta * h_hat - eta * z)
+
+
+class WeightUpdater:
+    """Applies EMSTDP updates with optional quantization-aware rounding.
+
+    The updater owns the RNG used for stochastic rounding so repeated runs
+    with the same seed are bit-identical.
+    """
+
+    def __init__(self, eta: float, weight_bits: Optional[int] = None,
+                 weight_clip: Optional[float] = None,
+                 stochastic_rounding: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        if eta <= 0:
+            raise ValueError("eta must be positive")
+        self.eta = float(eta)
+        self.weight_bits = weight_bits
+        self.weight_clip = weight_clip
+        self.stochastic_rounding = bool(stochastic_rounding)
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def apply(self, w: np.ndarray, h_hat_post: np.ndarray, h_post: np.ndarray,
+              h_pre: np.ndarray) -> np.ndarray:
+        """Return updated (and re-quantized) weights per Eq. (7)."""
+        dw = delta_w_reference(h_hat_post, h_post, h_pre, self.eta)
+        return self.project(w + dw)
+
+    def apply_loihi_form(self, w: np.ndarray, h_hat_post: np.ndarray,
+                         z_post: np.ndarray, pre_trace: np.ndarray) -> np.ndarray:
+        """Return updated weights per the sum-of-products form, Eq. (12)."""
+        dw = delta_w_loihi_form(h_hat_post, z_post, pre_trace, self.eta)
+        return self.project(w + dw)
+
+    def project(self, w: np.ndarray) -> np.ndarray:
+        """Clip/quantize weights onto the representable grid."""
+        return quantize_weights(w, self.weight_bits, self.weight_clip,
+                                rng=self.rng, stochastic=self.stochastic_rounding)

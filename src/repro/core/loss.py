@@ -1,0 +1,49 @@
+"""Spike-based L2 loss (Eq. 6) and signed error rates.
+
+The loss layer of EMSTDP is itself spiking: the first feedback-path layer
+integrates the target spike train with weight ``+w_L`` and the predicted
+spike train with weight ``-w_L`` (Eq. 6), so its accumulated potential is
+proportional to ``h_hat - h`` — the derivative of the L2 loss between spike
+counts.  The sign is carried by a positive and a negative channel.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .neuron import quantize_rate
+
+
+def signed_error_rates(target: np.ndarray, predicted: np.ndarray, gain: float,
+                       T: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Rates of the positive/negative output error channels over one phase.
+
+    Each channel is an IF neuron with threshold 1 receiving per-step drive
+    ``±gain * (target - predicted)``; over a phase its rate is the clipped,
+    ``1/T``-quantized rectification of that drive (Eq. 2 applied to Eq. 6).
+    """
+    diff = gain * (np.asarray(target, dtype=float) - np.asarray(predicted, dtype=float))
+    e_pos = quantize_rate(np.clip(diff, 0.0, 1.0), T)
+    e_neg = quantize_rate(np.clip(-diff, 0.0, 1.0), T)
+    return e_pos, e_neg
+
+
+def l2_rate_loss(target: np.ndarray, predicted: np.ndarray) -> float:
+    """Scalar L2 loss between target and predicted rates (diagnostics only)."""
+    t = np.asarray(target, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    return float(0.5 * np.sum((t - p) ** 2))
+
+
+def predict_class(rates: np.ndarray) -> int:
+    """Winner-take-all readout: the class of the fastest-firing output neuron."""
+    return int(np.argmax(np.asarray(rates)))
+
+
+def margin(rates: np.ndarray, label: int) -> float:
+    """Rate margin of the true class over the best rival (diagnostics)."""
+    r = np.asarray(rates, dtype=float)
+    rival = np.max(np.delete(r, label)) if r.size > 1 else 0.0
+    return float(r[label] - rival)

@@ -1,0 +1,381 @@
+"""Full-precision reference implementation of EMSTDP.
+
+This is the "Python (FP)" baseline of Table I: the same two-phase, spike
+domain algorithm as the chip implementation, but with float weights and no
+hardware resource constraints.  Two dynamics backends are provided:
+
+``rate``
+    Solves each phase's steady state directly on the ``1/T`` rate grid.
+    Phase 2 is a closed loop (error spikes perturb the forward rates, which
+    changes the error), solved by fixed-point iteration.  This is the fast
+    backend used for the long Table I / Fig. 4 runs.
+
+``spike``
+    Simulates all ``2*T`` timesteps with explicit integrate-and-fire neurons,
+    two-channel error populations, gated error output and per-step
+    corrections — the ground truth the rate backend is validated against
+    (see ``tests/test_network_equivalence.py``).
+
+The network always trains with batch size 1 (online learning, Section IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .config import EMSTDPConfig, validate_dims
+from .encoding import bias_encode, encode_label, quantize_to_bins
+from .feedback import make_dfa_weights, make_fa_weights
+from .learning import WeightUpdater
+from .loss import predict_class, signed_error_rates
+from .neuron import IFLayer, SignedErrorLayer, quantize_rate, rate_activation
+
+
+class EMSTDPNetwork:
+    """A multilayer SNN trained online with EMSTDP.
+
+    Parameters
+    ----------
+    dims:
+        Layer sizes ``(n_in, n_h1, ..., n_out)``.
+    config:
+        Algorithm hyper-parameters; see :class:`repro.core.EMSTDPConfig`.
+    rng:
+        Optional generator; defaults to one seeded from ``config.seed``.
+    """
+
+    def __init__(self, dims: Sequence[int], config: Optional[EMSTDPConfig] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.dims = validate_dims(dims)
+        self.config = config if config is not None else EMSTDPConfig()
+        self.rng = rng if rng is not None else np.random.default_rng(self.config.seed)
+        self.n_layers = len(self.dims) - 1
+        self.n_classes = self.dims[-1]
+        self._bias = 1 if self.config.use_bias_neuron else 0
+
+        self.updater = WeightUpdater(
+            eta=self.config.learning_rate,
+            weight_bits=self.config.weight_bits,
+            weight_clip=self.config.weight_clip,
+            stochastic_rounding=self.config.stochastic_rounding,
+            rng=self.rng,
+        )
+        self.weights: List[np.ndarray] = []
+        for i in range(self.n_layers):
+            fan_in = self.dims[i] + self._bias
+            limit = self.config.init_scale * np.sqrt(6.0 / fan_in)
+            w = self.rng.uniform(-limit, limit, size=(fan_in, self.dims[i + 1]))
+            self.weights.append(self.updater.project(w))
+
+        if self.config.feedback == "fa":
+            self.feedback_weights = make_fa_weights(
+                self.dims, self.rng, self.config.feedback_scale)
+        else:
+            self.feedback_weights = make_dfa_weights(
+                self.dims, self.rng, self.config.feedback_scale)
+
+        # Masked output classes are "disabled classifier neurons" used by the
+        # incremental-learning protocol: they neither fire nor receive error.
+        self.class_mask = np.ones(self.n_classes, dtype=bool)
+
+        self.samples_seen = 0
+
+    # ------------------------------------------------------------------
+    # Forward path
+    # ------------------------------------------------------------------
+
+    def _augment(self, rates: np.ndarray) -> np.ndarray:
+        """Append the always-on bias unit's rate if enabled."""
+        if not self._bias:
+            return rates
+        return np.concatenate([rates, [1.0]])
+
+    def forward_rates(self, x: np.ndarray,
+                      corrections: Optional[List[np.ndarray]] = None,
+                      current_corrections: Optional[List[np.ndarray]] = None,
+                      ) -> List[np.ndarray]:
+        """Steady-state rates of every layer given input ``x`` in [0, 1].
+
+        ``corrections[i]`` (signed spike rates) are added *after* the IF
+        quantization of layer ``i+1`` — the effect of one-to-one error spikes
+        carrying a full threshold's worth of charge.  ``current_corrections``
+        are added to the membrane drive *before* quantization — the effect of
+        DFA's random-weight error broadcast.
+        """
+        T = self.config.T
+        rates = [quantize_to_bins(np.asarray(x, dtype=float), T)]
+        for i, w in enumerate(self.weights):
+            drive = self._augment(rates[i]) @ w
+            if current_corrections is not None and current_corrections[i] is not None:
+                drive = drive + current_corrections[i]
+            r = rate_activation(drive, T)
+            if corrections is not None and corrections[i] is not None:
+                r = quantize_rate(np.clip(r + corrections[i], 0.0, 1.0), T)
+            if i == self.n_layers - 1:
+                r = r * self.class_mask
+            rates.append(r)
+        return rates
+
+    def predict(self, x: np.ndarray) -> int:
+        """Class decision from a phase-1 inference pass."""
+        return predict_class(self.output_rates(x))
+
+    def output_rates(self, x: np.ndarray) -> np.ndarray:
+        """Output-layer rates from a phase-1 inference pass."""
+        if self.config.dynamics == "spike":
+            h, _ = self._spike_phase1(np.asarray(x, dtype=float))
+            return h[-1]
+        return self.forward_rates(x)[-1]
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def train_sample(self, x: np.ndarray, label: int,
+                     lr_scale: float = 1.0) -> Dict[str, object]:
+        """One full 2-phase EMSTDP presentation with a weight update.
+
+        Returns a diagnostics dict with phase-1 rates ``h``, phase-2 rates
+        ``h_hat``, the prediction and whether it was correct.
+        """
+        x = np.asarray(x, dtype=float)
+        if self.config.dynamics == "spike":
+            h, h_hat = self._spike_two_phase(x, label)
+        else:
+            h, h_hat = self._rate_two_phase(x, label)
+        self._apply_updates(h, h_hat, lr_scale)
+        self.samples_seen += 1
+        pred = predict_class(h[-1])
+        return {
+            "h": h,
+            "h_hat": h_hat,
+            "prediction": pred,
+            "correct": pred == label,
+        }
+
+    def _apply_updates(self, h: List[np.ndarray], h_hat: List[np.ndarray],
+                       lr_scale: float) -> None:
+        eta0 = self.updater.eta
+        self.updater.eta = eta0 * lr_scale
+        try:
+            for i in range(self.n_layers):
+                pre = self._augment(h[i])
+                self.weights[i] = self.updater.apply(
+                    self.weights[i], h_hat[i + 1], h[i + 1], pre)
+        finally:
+            self.updater.eta = eta0
+
+    # -- rate backend ---------------------------------------------------
+
+    def _rate_two_phase(self, x: np.ndarray, label: int
+                        ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        cfg = self.config
+        T = cfg.T
+        h = self.forward_rates(x)
+        target = encode_label(label, self.n_classes) * self.class_mask
+
+        # The forward-activity gates: a neuron that never fired in phase 1
+        # keeps its error channel shut (surrogate derivative h' = 0).
+        gates = [hi > 0 for hi in h]
+
+        # Phase 2 is a closed loop: error spikes raise/lower the forward
+        # rates, which in turn changes the error.  The spiking system settles
+        # into a limit cycle whose *time average* is the self-consistent
+        # solution; plain fixed-point iteration instead oscillates with
+        # period 2 (error on / error off).  Damped iteration recovers the
+        # time-averaged equilibrium, e.g. for one output neuron
+        # ``e = g * (target - h) / (1 + g)``.
+        h_hat = [hi.copy() for hi in h]
+        damping = 0.5
+        e_out = np.zeros(self.n_classes)
+        corrections: List[Optional[np.ndarray]] = [None] * self.n_layers
+        current: List[Optional[np.ndarray]] = [None] * self.n_layers
+        for _ in range(cfg.phase2_iterations):
+            e_pos, e_neg = signed_error_rates(target, h_hat[-1], cfg.error_gain, T)
+            if cfg.gate_output:
+                e_pos = e_pos * gates[-1]
+                e_neg = e_neg * gates[-1]
+            e_new = (e_pos - e_neg) * self.class_mask
+            e_out = e_out + damping * (e_new - e_out)
+            corrections[-1] = e_out
+            if cfg.feedback == "fa":
+                e_above = e_out
+                for i in range(self.n_layers - 2, -1, -1):
+                    eps = cfg.hidden_error_gain * (
+                        e_above @ self.feedback_weights[i])
+                    ep = quantize_rate(np.clip(eps, 0.0, 1.0), T)
+                    en = quantize_rate(np.clip(-eps, 0.0, 1.0), T)
+                    if cfg.gate_hidden:
+                        ep = ep * gates[i + 1]
+                        en = en * gates[i + 1]
+                    prev = corrections[i] if corrections[i] is not None else 0.0
+                    corrections[i] = prev + damping * ((ep - en) - prev)
+                    e_above = corrections[i]
+            else:
+                # DFA: the output error broadcasts through fixed random D
+                # into per-neuron correction *dendrites*.  Like the FA error
+                # neurons, the dendrites are integrate-and-fire: corrections
+                # below one threshold's worth of charge produce no spikes,
+                # which filters the broadcast noise that raw current
+                # injection would accumulate into weight drift.
+                for i in range(self.n_layers - 1):
+                    eps = cfg.hidden_error_gain * (
+                        e_out @ self.feedback_weights[i])
+                    ep = quantize_rate(np.clip(eps, 0.0, 1.0), T)
+                    en = quantize_rate(np.clip(-eps, 0.0, 1.0), T)
+                    if cfg.gate_hidden:
+                        ep = ep * gates[i + 1]
+                        en = en * gates[i + 1]
+                    prev = corrections[i] if corrections[i] is not None else 0.0
+                    corrections[i] = prev + damping * ((ep - en) - prev)
+            h_hat = self.forward_rates(x, corrections=corrections,
+                                       current_corrections=current)
+        return h, h_hat
+
+    # -- spike backend --------------------------------------------------
+
+    def _make_layers(self) -> List[IFLayer]:
+        return [IFLayer(n) for n in self.dims]
+
+    def _spike_phase1(self, x: np.ndarray
+                      ) -> Tuple[List[np.ndarray], List[IFLayer]]:
+        T = self.config.T
+        layers = self._make_layers()
+        in_bias = bias_encode(x, T)
+        spikes = [np.zeros(n) for n in self.dims]
+        for _ in range(T):
+            spikes[0] = layers[0].step(in_bias).astype(float)
+            for i, w in enumerate(self.weights):
+                drive = self._augment(spikes[i]) @ w
+                spikes[i + 1] = layers[i + 1].step(drive).astype(float)
+        h = [layer.spike_count / T for layer in layers]
+        h[-1] = h[-1] * self.class_mask
+        return h, layers
+
+    def _spike_two_phase(self, x: np.ndarray, label: int
+                         ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        cfg = self.config
+        T = cfg.T
+        h, layers = self._spike_phase1(x)
+        gates = [layer.spike_count > 0 for layer in layers]
+
+        # Phase 2: counters restart, membrane potentials persist (the chip
+        # resets state only at the end of the sample, Operation Flow 1).
+        for layer in layers:
+            layer.reset_counts()
+        in_bias = bias_encode(x, T)
+        target = encode_label(label, self.n_classes) * self.class_mask
+        label_layer = IFLayer(self.n_classes)
+        out_err = SignedErrorLayer(self.n_classes)
+        # FA: chained error relay pairs.  DFA: correction dendrite pairs fed
+        # straight from the output error — same IF threshold filtering,
+        # different feedback topology.
+        hidden_err = [SignedErrorLayer(n) for n in self.dims[1:-1]]
+
+        spikes = [np.zeros(n) for n in self.dims]
+        # Signed error spikes from the previous step, delivered this step.
+        pending_out = np.zeros(self.n_classes)
+        pending_hidden = [np.zeros(n) for n in self.dims[1:-1]]
+
+        for _ in range(T):
+            corrections: List[Optional[np.ndarray]] = [None] * self.n_layers
+            corrections[-1] = pending_out * self.class_mask
+            for i in range(self.n_layers - 1):
+                corrections[i] = pending_hidden[i]
+
+            spikes[0] = layers[0].step(in_bias).astype(float)
+            for i, w in enumerate(self.weights):
+                drive = self._augment(spikes[i]) @ w
+                if corrections[i] is not None:
+                    drive = drive + corrections[i]
+                spikes[i + 1] = layers[i + 1].step(drive).astype(float)
+            spikes[-1] = spikes[-1] * self.class_mask
+
+            tgt_spikes = label_layer.step(target).astype(float)
+            out_gate = gates[-1] if cfg.gate_output else None
+            pending_out = out_err.step(
+                cfg.error_gain * (tgt_spikes - spikes[-1]), gate=out_gate)
+            pending_out = pending_out * self.class_mask
+
+            if cfg.feedback == "fa":
+                e_above = pending_out
+                for i in range(self.n_layers - 2, -1, -1):
+                    drive = cfg.hidden_error_gain * (
+                        e_above @ self.feedback_weights[i])
+                    gate = gates[i + 1] if cfg.gate_hidden else None
+                    pending_hidden[i] = hidden_err[i].step(drive, gate=gate)
+                    e_above = pending_hidden[i]
+            else:
+                for i in range(self.n_layers - 1):
+                    drive = cfg.hidden_error_gain * (
+                        pending_out @ self.feedback_weights[i])
+                    gate = gates[i + 1] if cfg.gate_hidden else None
+                    pending_hidden[i] = hidden_err[i].step(drive, gate=gate)
+
+        h_hat = [layer.spike_count / T for layer in layers]
+        h_hat[-1] = h_hat[-1] * self.class_mask
+        return h, h_hat
+
+    # ------------------------------------------------------------------
+    # Convenience training / evaluation loops
+    # ------------------------------------------------------------------
+
+    def train_stream(self, samples, labels, lr_scale: float = 1.0,
+                     progress: Optional[callable] = None) -> float:
+        """Single online pass over a stream; returns running accuracy."""
+        correct = 0
+        total = 0
+        for x, y in zip(samples, labels):
+            result = self.train_sample(x, int(y), lr_scale=lr_scale)
+            correct += int(result["correct"])
+            total += 1
+            if progress is not None:
+                progress(total, correct / total)
+        return correct / max(total, 1)
+
+    def evaluate(self, samples, labels) -> float:
+        """Phase-1 (inference-only) accuracy over a test set."""
+        correct = 0
+        total = 0
+        for x, y in zip(samples, labels):
+            correct += int(self.predict(x) == int(y))
+            total += 1
+        return correct / max(total, 1)
+
+    # ------------------------------------------------------------------
+    # Checkpointing / incremental-learning hooks
+    # ------------------------------------------------------------------
+
+    def set_class_mask(self, active_classes: Sequence[int]) -> None:
+        """Enable only ``active_classes`` output neurons (IOL step 1)."""
+        mask = np.zeros(self.n_classes, dtype=bool)
+        mask[list(active_classes)] = True
+        if not mask.any():
+            raise ValueError("at least one class must stay active")
+        self.class_mask = mask
+
+    def clear_class_mask(self) -> None:
+        """Re-enable every output neuron."""
+        self.class_mask = np.ones(self.n_classes, dtype=bool)
+
+    def state_dict(self) -> Dict[str, object]:
+        """Snapshot of everything needed to restore the model."""
+        return {
+            "dims": self.dims,
+            "weights": [w.copy() for w in self.weights],
+            "feedback_weights": [b.copy() for b in self.feedback_weights],
+            "class_mask": self.class_mask.copy(),
+            "samples_seen": self.samples_seen,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        if tuple(state["dims"]) != self.dims:
+            raise ValueError(
+                f"checkpoint dims {state['dims']} != network dims {self.dims}")
+        self.weights = [np.array(w, dtype=float) for w in state["weights"]]
+        self.feedback_weights = [np.array(b, dtype=float)
+                                 for b in state["feedback_weights"]]
+        self.class_mask = np.array(state["class_mask"], dtype=bool)
+        self.samples_seen = int(state["samples_seen"])

@@ -1,0 +1,158 @@
+"""Integrate-and-fire neuron primitives used by the reference implementation.
+
+EMSTDP uses the same simple IF neuron in the forward and the feedback path
+(Eq. 1 of the paper).  The membrane potential accumulates the weighted input
+every timestep; when it crosses the threshold the neuron emits a spike and
+the threshold is subtracted ("soft reset"), which makes the spike count over
+a window of ``T`` steps equal to ``floor(u / theta)`` where ``u`` is the
+total accumulated drive (Eq. 2) — the rate activation the algorithm is built
+on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class IFLayer:
+    """A vectorized layer of integrate-and-fire neurons.
+
+    All potentials are expressed in *normalized* units where the firing
+    threshold is 1.0 and a constant drive of ``r`` per step produces a spike
+    rate of ``r`` (for ``0 <= r <= 1``).
+
+    Parameters
+    ----------
+    n:
+        Number of neurons.
+    threshold:
+        Firing threshold (normalized units).
+    soft_reset:
+        If ``True`` (default) the threshold is subtracted on spike, which
+        realises the ``floor(u/theta)`` rate activation of Eq. (2).  If
+        ``False`` the potential is reset to zero, losing the residual charge.
+    refractory:
+        Number of steps a neuron stays silent after a spike (0 = none).
+    """
+
+    def __init__(self, n: int, threshold: float = 1.0, soft_reset: bool = True,
+                 refractory: int = 0):
+        if n < 1:
+            raise ValueError("layer must contain at least one neuron")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if refractory < 0:
+            raise ValueError("refractory must be >= 0")
+        self.n = int(n)
+        self.threshold = float(threshold)
+        self.soft_reset = bool(soft_reset)
+        self.refractory = int(refractory)
+        self.v = np.zeros(self.n)
+        self.spike_count = np.zeros(self.n, dtype=np.int64)
+        self._refrac_left = np.zeros(self.n, dtype=np.int64)
+
+    def reset(self) -> None:
+        """Clear all state (membrane potential, counters, refractory)."""
+        self.v.fill(0.0)
+        self.spike_count.fill(0)
+        self._refrac_left.fill(0)
+
+    def reset_counts(self) -> None:
+        """Clear only the spike counters (used at phase boundaries)."""
+        self.spike_count.fill(0)
+
+    def step(self, drive: np.ndarray) -> np.ndarray:
+        """Advance one timestep with input ``drive`` (normalized units).
+
+        Returns the boolean spike vector for this step.
+        """
+        drive = np.asarray(drive, dtype=float)
+        if drive.shape != (self.n,):
+            raise ValueError(f"drive must have shape ({self.n},), got {drive.shape}")
+        active = self._refrac_left == 0
+        self.v = np.where(active, self.v + drive, self.v)
+        # The epsilon keeps grid-exact drives (e.g. 0.3 over 100 steps) from
+        # losing a spike to float accumulation error.
+        spikes = active & (self.v >= self.threshold - 1e-9)
+        if self.soft_reset:
+            self.v = np.where(spikes, self.v - self.threshold, self.v)
+        else:
+            self.v = np.where(spikes, 0.0, self.v)
+        # IF neurons in EMSTDP never integrate below the resting potential:
+        # a negative membrane would silently store "anti-spikes" that the
+        # rate activation floor(u/theta) does not model.
+        np.clip(self.v, 0.0, None, out=self.v)
+        if self.refractory:
+            self._refrac_left[spikes] = self.refractory
+            self._refrac_left[~spikes & (self._refrac_left > 0)] -= 1
+        self.spike_count += spikes
+        return spikes
+
+
+class SignedErrorLayer:
+    """A pair of IF populations representing a signed error in two channels.
+
+    The feedback path cannot carry negative spike rates, so the paper uses a
+    positive and a negative channel per error neuron (Section III-A,
+    Eq. 10).  This helper owns both channels, integrates a *signed* drive and
+    reports signed spike output ``(+1, -1, 0)`` per neuron.
+
+    The channels can be gated by the forward-path activity (the
+    multi-compartment AND gate): a gated channel integrates normally but
+    produces no output spikes while the gate is closed.
+    """
+
+    def __init__(self, n: int, threshold: float = 1.0):
+        self.n = int(n)
+        self.pos = IFLayer(n, threshold=threshold)
+        self.neg = IFLayer(n, threshold=threshold)
+
+    def reset(self) -> None:
+        self.pos.reset()
+        self.neg.reset()
+
+    def step(self, signed_drive: np.ndarray, gate: np.ndarray = None,
+             enabled: bool = True) -> np.ndarray:
+        """Advance one step; return signed spikes in ``{-1, 0, +1}``.
+
+        ``signed_drive`` feeds the positive channel as-is and the negative
+        channel negated.  ``gate`` is a boolean per-neuron mask (the soma
+        output is ANDed with it); ``enabled`` is a global phase gate.
+        """
+        signed_drive = np.asarray(signed_drive, dtype=float)
+        sp = self.pos.step(signed_drive)
+        sn = self.neg.step(-signed_drive)
+        if not enabled:
+            # The phase gate closes the soma: spikes are swallowed.  Counts
+            # must not include swallowed spikes either.
+            self.pos.spike_count -= sp
+            self.neg.spike_count -= sn
+            return np.zeros(self.n)
+        if gate is not None:
+            gate = np.asarray(gate, dtype=bool)
+            self.pos.spike_count -= sp & ~gate
+            self.neg.spike_count -= sn & ~gate
+            sp = sp & gate
+            sn = sn & gate
+        return sp.astype(float) - sn.astype(float)
+
+    @property
+    def signed_count(self) -> np.ndarray:
+        """Signed spike count: positive-channel minus negative-channel."""
+        return self.pos.spike_count - self.neg.spike_count
+
+
+def rate_activation(potential: np.ndarray, T: int) -> np.ndarray:
+    """Closed-form IF rate on the ``1/T`` grid: ``floor(p*T)/T`` in [0, 1].
+
+    ``potential`` is the per-step drive in normalized units (threshold = 1).
+    This is Eq. (2) of the paper expressed in rates instead of counts.
+    """
+    p = np.asarray(potential, dtype=float)
+    return np.clip(np.floor(p * T + 1e-9), 0, T) / T
+
+
+def quantize_rate(rate: np.ndarray, T: int) -> np.ndarray:
+    """Snap a rate in [0, 1] onto the ``1/T`` grid (toward zero)."""
+    r = np.asarray(rate, dtype=float)
+    return np.clip(np.floor(r * T + 1e-9), 0, T) / T

@@ -1,0 +1,86 @@
+"""Weight quantization utilities.
+
+Loihi stores synaptic weights as 8-bit signed integers (a mantissa plus a
+shared exponent).  The reference implementation models this as a uniform
+signed grid over ``[-clip, +clip]`` with ``2**bits`` levels, re-applied after
+every weight update.  Stochastic rounding keeps tiny updates alive: an
+update smaller than one grid step still moves the weight with probability
+proportional to its size, so learning with ``eta = 2**-3`` on normalized
+rates does not stall.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def quant_step(bits: int, clip: float) -> float:
+    """Grid step of a signed ``bits``-bit uniform quantizer over [-clip, clip]."""
+    if bits < 2:
+        raise ValueError("bits must be >= 2")
+    if clip <= 0:
+        raise ValueError("clip must be positive")
+    return clip / (2 ** (bits - 1) - 1)
+
+
+def quantize_weights(w: np.ndarray, bits: Optional[int], clip: Optional[float],
+                     rng: Optional[np.random.Generator] = None,
+                     stochastic: bool = False) -> np.ndarray:
+    """Project weights onto the quantization grid.
+
+    With ``bits is None`` only clipping (if any) is applied — the full
+    precision configuration.  With stochastic rounding, values are rounded up
+    or down with probability proportional to their fractional position, which
+    is unbiased: ``E[quantize(w)] = clip_to_range(w)``.
+    """
+    w = np.asarray(w, dtype=float)
+    if clip is not None:
+        w = np.clip(w, -clip, clip)
+    if bits is None:
+        return w
+    if clip is None:
+        raise ValueError("quantization requires a clip range")
+    step = quant_step(bits, clip)
+    scaled = w / step
+    if stochastic:
+        if rng is None:
+            raise ValueError("stochastic rounding requires an rng")
+        floor = np.floor(scaled)
+        frac = scaled - floor
+        scaled = floor + (rng.random(w.shape) < frac)
+    else:
+        scaled = np.round(scaled)
+    levels = 2 ** (bits - 1) - 1
+    return np.clip(scaled, -levels, levels) * step
+
+
+def to_fixed_point(w: np.ndarray, bits: int, clip: float) -> np.ndarray:
+    """Convert float weights to the signed integer mantissas a chip stores."""
+    step = quant_step(bits, clip)
+    levels = 2 ** (bits - 1) - 1
+    return np.clip(np.round(np.asarray(w, dtype=float) / step), -levels, levels
+                   ).astype(np.int32)
+
+
+def from_fixed_point(mant: np.ndarray, bits: int, clip: float) -> np.ndarray:
+    """Inverse of :func:`to_fixed_point`."""
+    return np.asarray(mant, dtype=float) * quant_step(bits, clip)
+
+
+def quantization_snr_db(w: np.ndarray, bits: int, clip: float) -> float:
+    """Signal-to-quantization-noise ratio of representing ``w`` on the grid.
+
+    A diagnostic used in the precision ablation: SNR grows ~6 dB per bit for
+    well-scaled weights and collapses when ``clip`` is badly chosen.
+    """
+    w = np.asarray(w, dtype=float)
+    q = quantize_weights(w, bits, clip)
+    noise = np.mean((w - q) ** 2)
+    signal = np.mean(w ** 2)
+    if signal == 0:
+        return float("-inf")
+    if noise == 0:
+        return float("inf")
+    return float(10.0 * np.log10(signal / noise))

@@ -1,0 +1,18 @@
+"""Synthetic stand-ins for the paper's four datasets.
+
+MNIST / Fashion-MNIST / CIFAR-10 / MSTAR cannot be downloaded in this
+offline environment; these deterministic parametric generators reproduce
+their roles and difficulty ordering (see DESIGN.md).
+"""
+
+from .cifar_like import generate as generate_cifar_like
+from .fashion_like import generate as generate_fashion_like
+from .loaders import DATASETS, PAPER_MAPPING, load_dataset
+from .mnist_like import generate as generate_mnist_like, render_digit
+from .mstar_like import generate as generate_mstar_like, render_chip
+from .synth import Dataset
+
+__all__ = ["DATASETS", "Dataset", "PAPER_MAPPING", "generate_cifar_like",
+           "generate_fashion_like", "generate_mnist_like",
+           "generate_mstar_like", "load_dataset", "render_chip",
+           "render_digit"]

@@ -1,0 +1,90 @@
+"""CIFAR-10-like synthetic colour images: textured objects on clutter.
+
+Each class pairs a characteristic object shape with a colour prior, drawn
+over a random textured background with heavy jitter — the hardest of the
+four tasks, as CIFAR-10 is in the paper (61-64% accuracy in Table I versus
+94-99% on MNIST).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .synth import Dataset, blank_canvas, draw_arc, fill_polygon
+
+#: (hue RGB weights, shape id) per class.
+_CLASS_SPEC = [
+    ((0.9, 0.2, 0.2), "disc"),      # 0
+    ((0.2, 0.8, 0.3), "square"),    # 1
+    ((0.25, 0.35, 0.9), "triangle"),  # 2
+    ((0.85, 0.8, 0.2), "disc"),     # 3
+    ((0.8, 0.3, 0.8), "square"),    # 4
+    ((0.25, 0.85, 0.85), "triangle"),  # 5
+    ((0.95, 0.55, 0.15), "ring"),   # 6
+    ((0.55, 0.35, 0.2), "bar"),     # 7
+    ((0.6, 0.65, 0.7), "ring"),     # 8
+    ((0.35, 0.6, 0.35), "bar"),     # 9
+]
+
+
+def _draw_shape(mask: np.ndarray, shape: str, rng: np.random.Generator) -> None:
+    side = mask.shape[0]
+    s = side - 1
+    cr = rng.uniform(0.35, 0.65) * s
+    cc = rng.uniform(0.35, 0.65) * s
+    size = rng.uniform(0.22, 0.34) * s
+    if shape == "disc":
+        rr, cc2 = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+        mask[((rr - cr) ** 2 + (cc2 - cc) ** 2) <= size ** 2] = 1.0
+    elif shape == "square":
+        v = np.array([(cr - size, cc - size), (cr - size, cc + size),
+                      (cr + size, cc + size), (cr + size, cc - size)])
+        fill_polygon(mask, v)
+    elif shape == "triangle":
+        v = np.array([(cr - size, cc), (cr + size, cc + size),
+                      (cr + size, cc - size)])
+        fill_polygon(mask, v)
+    elif shape == "ring":
+        draw_arc(mask, cr, cc, size, 0, 2 * np.pi,
+                 thickness=max(side / 8.0, 1.5))
+    elif shape == "bar":
+        v = np.array([(cr - size, cc - size * 0.35), (cr - size, cc + size * 0.35),
+                      (cr + size, cc + size * 0.35), (cr + size, cc - size * 0.35)])
+        fill_polygon(mask, v)
+    else:  # pragma: no cover - template table is fixed
+        raise ValueError(f"unknown shape {shape!r}")
+
+
+def render_object(label: int, side: int = 16,
+                  rng: np.random.Generator = None) -> np.ndarray:
+    """One ``(side, side, 3)`` colour image in [0, 1]."""
+    if not 0 <= label <= 9:
+        raise ValueError(f"label must be 0..9, got {label}")
+    if rng is None:
+        rng = np.random.default_rng()
+    hue, shape = _CLASS_SPEC[label]
+    # textured background with a random colour cast (heavy clutter: natural
+    # image backgrounds are the reason CIFAR is the hardest of the four)
+    base = rng.uniform(0.1, 0.65, size=3)
+    texture = rng.normal(0, 0.16, size=(side, side, 3))
+    img = np.clip(base[None, None, :] + texture, 0, 1)
+    # object mask, partially transparent against the clutter
+    mask = blank_canvas(side)
+    _draw_shape(mask, shape, rng)
+    colour = np.clip(np.array(hue) + rng.normal(0, 0.22, 3), 0, 1)
+    alpha = rng.uniform(0.55, 0.8)
+    img = img * (1 - mask[..., None] * alpha) + (mask[..., None] * alpha
+                                                 * colour[None, None, :])
+    img = np.clip(img + rng.normal(0, 0.1, img.shape), 0, 1)
+    return img
+
+
+def generate(n_samples: int, side: int = 16, seed: int = 0,
+             classes=None) -> Dataset:
+    """A deterministic CIFAR-10-like colour dataset."""
+    rng = np.random.default_rng(seed)
+    classes = list(range(10)) if classes is None else list(classes)
+    labels = rng.choice(classes, size=n_samples)
+    images = np.stack([render_object(int(d), side=side, rng=rng)
+                       for d in labels])
+    return Dataset(images, labels.astype(np.int64), name="cifar_like")

@@ -1,0 +1,43 @@
+"""Dataset registry and train/test loading helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from . import cifar_like, fashion_like, mnist_like, mstar_like
+from .synth import Dataset
+
+#: name -> generator module (each exposes ``generate``).
+DATASETS: Dict[str, object] = {
+    "mnist_like": mnist_like,
+    "fashion_like": fashion_like,
+    "cifar_like": cifar_like,
+    "mstar_like": mstar_like,
+}
+
+#: Paper dataset name -> synthetic stand-in.
+PAPER_MAPPING = {
+    "MNIST": "mnist_like",
+    "Fashion-MNIST": "fashion_like",
+    "CIFAR10": "cifar_like",
+    "MSTAR (10 class)": "mstar_like",
+}
+
+
+def load_dataset(name: str, n_train: int, n_test: int, side: int = 16,
+                 seed: int = 0, classes=None) -> Tuple[Dataset, Dataset]:
+    """Disjoint train/test splits of a named synthetic dataset.
+
+    The test split uses a derived seed so the two splits never share
+    samples while remaining reproducible.
+    """
+    if name in PAPER_MAPPING:
+        name = PAPER_MAPPING[name]
+    if name not in DATASETS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}")
+    module = DATASETS[name]
+    train = module.generate(n_train, side=side, seed=seed, classes=classes)
+    test = module.generate(n_test, side=side, seed=seed + 10_000,
+                           classes=classes)
+    return train, test

@@ -1,0 +1,102 @@
+"""MSTAR-like synthetic SAR target chips.
+
+MSTAR is a collection of Synthetic Aperture Radar image chips of military
+vehicles (10 classes in the paper's subset).  SAR imagery has three
+signatures this generator reproduces:
+
+* multiplicative speckle noise (gamma-distributed) over low-reflectivity
+  clutter;
+* a bright target return whose footprint shape/aspect depends on the
+  vehicle class and its random azimuth;
+* a radar *shadow* cast behind the target (opposite the illumination
+  direction).
+
+The paper center-crops 128x128 chips to 64x64 and resizes to 32x32; this
+generator renders the target chip at the requested side directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .synth import Dataset, blank_canvas, fill_polygon
+
+#: (length, width, n_scatterers, turret, reflectivity) per vehicle class.
+#: Real vehicle classes differ in radar cross-section as well as footprint;
+#: the reflectivity band is the strongest pose-invariant cue, as it is for
+#: CNNs on real MSTAR chips.
+_VEHICLES = [
+    (0.55, 0.20, 2, False, 0.30), (0.40, 0.32, 5, True, 0.55),
+    (0.70, 0.16, 3, False, 0.80), (0.32, 0.32, 8, True, 0.40),
+    (0.55, 0.28, 5, True, 0.90), (0.45, 0.18, 2, False, 0.65),
+    (0.62, 0.34, 8, True, 0.30), (0.34, 0.22, 4, False, 0.85),
+    (0.50, 0.38, 10, True, 0.70), (0.62, 0.24, 6, False, 0.45),
+]
+
+
+def render_chip(label: int, side: int = 16,
+                rng: np.random.Generator = None) -> np.ndarray:
+    """One SAR target chip in [0, 1] of shape ``(side, side)``."""
+    if not 0 <= label <= 9:
+        raise ValueError(f"label must be 0..9, got {label}")
+    if rng is None:
+        rng = np.random.default_rng()
+    length, width, n_scatter, turret, reflect = _VEHICLES[label]
+    s = side - 1
+    # clutter floor with multiplicative speckle (gamma, shape 1 = exponential
+    # intensity, the single-look SAR speckle model)
+    clutter = 0.12 * rng.gamma(shape=1.0, scale=1.0, size=(side, side))
+
+    # Vehicles in MSTAR chips appear at arbitrary azimuth; a moderate spread
+    # keeps the task solvable by the paper's small networks while retaining
+    # pose variation.
+    azimuth = rng.uniform(0, 2 * np.pi) if side >= 24 else rng.uniform(
+        -0.5, 0.5)
+    cr = rng.uniform(0.42, 0.58) * s
+    cc = rng.uniform(0.42, 0.58) * s
+    d = np.array([np.sin(azimuth), np.cos(azimuth)])
+    p = np.array([-d[1], d[0]])
+    half_l = length * s / 2
+    half_w = width * s / 2
+    corners = np.array([cr, cc]) + np.array([
+        +half_l * d + half_w * p, +half_l * d - half_w * p,
+        -half_l * d - half_w * p, -half_l * d + half_w * p])
+
+    body = blank_canvas(side)
+    fill_polygon(body, corners, value=1.0)
+    # radar shadow: the body footprint displaced away from the illumination
+    shadow_dir = np.array([1.0, 0.35])
+    shadow_dir /= np.linalg.norm(shadow_dir)
+    shadow = blank_canvas(side)
+    fill_polygon(shadow, corners + shadow_dir * side * 0.18, value=1.0)
+
+    img = clutter * (1 - 0.85 * shadow)
+    # bright target return: class-banded reflectivity plus point scatterers
+    img += body * (reflect + rng.uniform(-0.08, 0.08))
+    for _ in range(n_scatter):
+        t = rng.uniform(-0.8, 0.8)
+        u = rng.uniform(-0.8, 0.8)
+        pos = np.array([cr, cc]) + t * half_l * d + u * half_w * p
+        r0, c0 = int(round(pos[0])), int(round(pos[1]))
+        if 0 <= r0 < side and 0 <= c0 < side:
+            img[r0, c0] += rng.uniform(0.8, 1.3)
+    if turret:
+        rr, cc2 = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+        tr = cr + 0.12 * s * d[0]
+        tc = cc + 0.12 * s * d[1]
+        img[((rr - tr) ** 2 + (cc2 - tc) ** 2) <= (0.08 * s) ** 2] += 0.4
+    # speckle multiplies the full return (multi-look averaged: milder than
+    # the single-look clutter speckle)
+    img *= rng.gamma(shape=8.0, scale=0.125, size=(side, side))
+    return np.clip(img, 0.0, 1.0)
+
+
+def generate(n_samples: int, side: int = 16, seed: int = 0,
+             classes=None) -> Dataset:
+    """A deterministic MSTAR-like SAR dataset (10 vehicle classes)."""
+    rng = np.random.default_rng(seed)
+    classes = list(range(10)) if classes is None else list(classes)
+    labels = rng.choice(classes, size=n_samples)
+    images = np.stack([render_chip(int(d), side=side, rng=rng)
+                       for d in labels])
+    return Dataset(images, labels.astype(np.int64), name="mstar_like")

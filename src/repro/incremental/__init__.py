@@ -1,0 +1,8 @@
+"""Incremental online learning protocol (Section IV-B, Fig. 4)."""
+
+from .protocol import (IOLConfig, IOLResult, IncrementalOnlineLearner,
+                       RoundRecord, forgetting_dip, recovery)
+from .replay import ReplayStore
+
+__all__ = ["IOLConfig", "IOLResult", "IncrementalOnlineLearner",
+           "ReplayStore", "RoundRecord", "forgetting_dip", "recovery"]

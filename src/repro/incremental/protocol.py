@@ -1,0 +1,191 @@
+"""Incremental online learning (Section IV-B, Fig. 4).
+
+The experiment: pretrain on 4 randomly chosen classes, then run three
+*incremental training iterations*, each introducing 2 new classes.  The
+per-class data is split into 5 chunks so each iteration spans 5 *rounds*;
+every round applies an alternating two-step schedule (after [23]):
+
+* **step 1 — learn new classes.**  Approximates cross-distillation by
+  disabling the old classes' classifier neurons and lowering the learning
+  rate, then training on the round's chunk of new-class samples only.
+* **step 2 — retrain old + new.**  Cross-entropy-style retraining on the
+  new-class chunk plus an equally sized replay sample of old classes drawn
+  from a store that also receives fresh old-class observations (modelling
+  concept drift).
+
+Accuracy over the currently *observed* classes is recorded after each step,
+yielding the two curves of Fig. 4 (step-1 curve shows the catastrophic-
+forgetting dip at each introduction; step-2 recovers it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.network import EMSTDPNetwork
+from ..data.synth import Dataset
+from .replay import ReplayStore
+
+
+@dataclasses.dataclass
+class IOLConfig:
+    """Protocol hyper-parameters (defaults follow Section IV-B)."""
+
+    initial_classes: int = 4
+    classes_per_increment: int = 2
+    n_increments: int = 3
+    rounds_per_increment: int = 5
+    step1_lr_scale: float = 0.25
+    chunk_size: int = 60
+    replay_per_round: int = 60
+    seed: int = 0
+
+
+@dataclasses.dataclass
+class RoundRecord:
+    """Accuracy bookkeeping for one round (one point pair in Fig. 4)."""
+
+    round_index: int
+    increment: int
+    observed_classes: List[int]
+    acc_after_step1: float
+    acc_after_step2: float
+    new_classes: List[int]
+
+
+@dataclasses.dataclass
+class IOLResult:
+    records: List[RoundRecord]
+    class_order: List[int]
+    baseline_accuracy: Optional[float] = None
+
+    def curves(self) -> Dict[str, List[float]]:
+        """The Fig. 4 series: accuracy after step 1 and after step 2."""
+        return {
+            "rounds": [r.round_index for r in self.records],
+            "after_step1": [r.acc_after_step1 for r in self.records],
+            "after_step2": [r.acc_after_step2 for r in self.records],
+            "introduction_rounds": [r.round_index for r in self.records
+                                    if r.new_classes and
+                                    r.round_index == min(
+                                        q.round_index for q in self.records
+                                        if q.increment == r.increment)],
+        }
+
+
+class IncrementalOnlineLearner:
+    """Runs the two-step IOL protocol on any EMSTDP-style trainer.
+
+    The model object must expose ``train_stream(xs, ys, lr_scale=...)``,
+    ``evaluate(xs, ys)`` and ``set_class_mask(classes)`` — satisfied by
+    :class:`repro.core.EMSTDPNetwork` (and adaptable to the on-chip
+    trainer).
+    """
+
+    def __init__(self, model: EMSTDPNetwork, train_data: Dataset,
+                 test_data: Dataset, config: Optional[IOLConfig] = None):
+        self.model = model
+        self.config = config if config is not None else IOLConfig()
+        self.train_data = train_data
+        self.test_data = test_data
+        self.rng = np.random.default_rng(self.config.seed)
+        self.replay = ReplayStore(rng=self.rng)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _features_of(self, dataset: Dataset, classes: Sequence[int],
+                     n: Optional[int] = None):
+        sub = dataset.subset(classes)
+        xs, ys = sub.flat(), sub.labels
+        if n is not None and n < len(xs):
+            idx = self.rng.choice(len(xs), size=n, replace=False)
+            xs, ys = xs[idx], ys[idx]
+        return xs, ys
+
+    def _eval_observed(self, observed: Sequence[int]) -> float:
+        xs, ys = self._features_of(self.test_data, observed)
+        return self.model.evaluate(xs, ys)
+
+    # -- protocol ----------------------------------------------------------
+
+    def run(self, baseline_accuracy: Optional[float] = None) -> IOLResult:
+        cfg = self.config
+        n_classes = self.model.n_classes
+        class_order = list(self.rng.permutation(n_classes))
+        observed = class_order[:cfg.initial_classes]
+
+        # Pretraining phase on the initial classes (not part of the curves).
+        self.model.set_class_mask(observed)
+        xs, ys = self._features_of(self.train_data, observed)
+        for _ in range(2):
+            self.model.train_stream(xs, ys)
+        for x, y in zip(xs, ys):
+            self.replay.add(x, int(y))
+
+        records: List[RoundRecord] = []
+        round_index = 0
+        for inc in range(cfg.n_increments):
+            start = cfg.initial_classes + inc * cfg.classes_per_increment
+            new_classes = class_order[start:start + cfg.classes_per_increment]
+            if not new_classes:
+                break
+            new_xs, new_ys = self._features_of(self.train_data, new_classes)
+            chunks = max(len(new_xs) // cfg.rounds_per_increment, 1)
+            observed = observed + list(new_classes)
+            for rnd in range(cfg.rounds_per_increment):
+                lo, hi = rnd * chunks, (rnd + 1) * chunks
+                cx, cy = new_xs[lo:hi], new_ys[lo:hi]
+                # step 1: learn new classes (old classifier neurons off,
+                # reduced lr: the cross-distillation approximation)
+                self.model.set_class_mask(new_classes)
+                self.model.train_stream(cx, cy, lr_scale=cfg.step1_lr_scale)
+                self.model.set_class_mask(observed)
+                acc1 = self._eval_observed(observed)
+                # step 2: retrain on new chunk + equal-size replay of old
+                # classes (the store mixes old and fresh observations)
+                ox, oy = self.replay.sample(min(len(cx), cfg.replay_per_round))
+                if len(ox):
+                    mix_x = np.concatenate([cx, ox])
+                    mix_y = np.concatenate([cy, oy])
+                    order = self.rng.permutation(len(mix_x))
+                    mix_x, mix_y = mix_x[order], mix_y[order]
+                else:  # pragma: no cover - replay store starts non-empty
+                    mix_x, mix_y = cx, cy
+                self.model.train_stream(mix_x, mix_y)
+                acc2 = self._eval_observed(observed)
+                for x, y in zip(cx, cy):
+                    self.replay.add(x, int(y))
+                records.append(RoundRecord(
+                    round_index=round_index, increment=inc,
+                    observed_classes=list(observed),
+                    acc_after_step1=acc1, acc_after_step2=acc2,
+                    new_classes=list(new_classes) if rnd == 0 else []))
+                round_index += 1
+        self.model.clear_class_mask()
+        return IOLResult(records, class_order,
+                         baseline_accuracy=baseline_accuracy)
+
+
+def forgetting_dip(result: IOLResult) -> float:
+    """Mean accuracy drop at class-introduction rounds (Fig. 4's dips)."""
+    drops = []
+    prev = None
+    for rec in result.records:
+        if rec.new_classes and prev is not None:
+            drops.append(prev - rec.acc_after_step1)
+        prev = rec.acc_after_step2
+    return float(np.mean(drops)) if drops else 0.0
+
+
+def recovery(result: IOLResult) -> float:
+    """Mean within-increment recovery from first to last round (step 2)."""
+    gains = []
+    by_inc: Dict[int, List[RoundRecord]] = {}
+    for rec in result.records:
+        by_inc.setdefault(rec.increment, []).append(rec)
+    for recs in by_inc.values():
+        gains.append(recs[-1].acc_after_step2 - recs[0].acc_after_step1)
+    return float(np.mean(gains)) if gains else 0.0

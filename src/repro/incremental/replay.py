@@ -1,0 +1,62 @@
+"""Replay store for the IOL protocol's step-2 retraining.
+
+Holds per-class sample pools; sampling is class-balanced ("an equal size
+sample of old classes", Section IV-B).  New observations of old classes —
+which "may have different distribution... or could simply be noise or
+variations caused by the input device/sensor" — are added with ``add`` as
+they arrive, so the store naturally mixes old and fresh observations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class ReplayStore:
+    """Class-balanced reservoir of past observations."""
+
+    def __init__(self, per_class_capacity: int = 200,
+                 rng: Optional[np.random.Generator] = None):
+        if per_class_capacity < 1:
+            raise ValueError("per_class_capacity must be >= 1")
+        self.per_class_capacity = int(per_class_capacity)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._pools: Dict[int, List[np.ndarray]] = defaultdict(list)
+        self._seen: Dict[int, int] = defaultdict(int)
+
+    def add(self, x: np.ndarray, label: int) -> None:
+        """Reservoir-sample ``x`` into its class pool."""
+        pool = self._pools[label]
+        self._seen[label] += 1
+        if len(pool) < self.per_class_capacity:
+            pool.append(np.asarray(x, dtype=float).copy())
+        else:
+            j = int(self.rng.integers(0, self._seen[label]))
+            if j < self.per_class_capacity:
+                pool[j] = np.asarray(x, dtype=float).copy()
+
+    @property
+    def classes(self) -> List[int]:
+        return sorted(k for k, pool in self._pools.items() if pool)
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._pools.values())
+
+    def sample(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ~``n`` samples balanced across stored classes."""
+        classes = self.classes
+        if not classes or n < 1:
+            return np.empty((0,)), np.empty((0,), dtype=np.int64)
+        per_class = max(n // len(classes), 1)
+        xs, ys = [], []
+        for c in classes:
+            pool = self._pools[c]
+            take = min(per_class, len(pool))
+            idx = self.rng.choice(len(pool), size=take, replace=False)
+            xs.extend(pool[i] for i in idx)
+            ys.extend([c] * take)
+        order = self.rng.permutation(len(xs))
+        return np.stack(xs)[order], np.asarray(ys, dtype=np.int64)[order]

@@ -1,0 +1,33 @@
+"""A Loihi-like digital neuromorphic chip simulator.
+
+The substrate the paper runs on: CUBA LIF compartments (configurable into
+the IF neurons EMSTDP needs), multi-compartment AND gating, 8-bit synapses
+with tags and trace counters, a sum-of-products microcode learning engine,
+a 128-core resource model with layer-at-a-time mapping, and a calibrated
+timing/power/energy model.
+"""
+
+from .chip import ChipSpec, LoihiChip
+from .compartment import (CompartmentGroup, CompartmentPrototype, MANT_SHIFT,
+                          if_prototype)
+from .core import CoreResourceError, CoreSpec, NeuroCore
+from .energy import (EnergyModel, EnergyModelParams, EnergyReport, RunStats)
+from .mapping import (GroupPlacement, Mapper, Mapping,
+                      optimal_neurons_per_core)
+from .microcode import (Factor, LearningEngine, ProductTerm, SumOfProducts,
+                        emstdp_rules, parse_rule, phase1_tag_rules)
+from .runtime import Runtime
+from .sdk import Network
+from .synapse import ConnectionGroup, TAG_MAX, WEIGHT_MANT_MAX
+from .traces import TraceConfig, TraceState, counter_trace
+
+__all__ = [
+    "ChipSpec", "CompartmentGroup", "CompartmentPrototype", "ConnectionGroup",
+    "CoreResourceError", "CoreSpec", "EnergyModel", "EnergyModelParams",
+    "EnergyReport", "Factor", "GroupPlacement", "LearningEngine", "LoihiChip",
+    "MANT_SHIFT", "Mapper", "Mapping", "Network", "NeuroCore", "ProductTerm",
+    "RunStats", "Runtime", "SumOfProducts", "TAG_MAX", "TraceConfig",
+    "TraceState", "WEIGHT_MANT_MAX", "counter_trace", "emstdp_rules",
+    "if_prototype", "optimal_neurons_per_core", "parse_rule",
+    "phase1_tag_rules",
+]

@@ -1,0 +1,59 @@
+"""Chip-level container: 128 cores plus global bookkeeping."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from .core import CoreSpec, NeuroCore
+
+
+@dataclasses.dataclass(frozen=True)
+class ChipSpec:
+    """Whole-chip parameters.
+
+    ``timestep_us`` is the *minimum* duration of one algorithmic timestep —
+    Loihi's maximum operating frequency is 10 kHz (Section IV-A2), i.e.
+    100 microseconds per step; the realised step time grows with the number
+    of compartments sharing a core (see :mod:`repro.loihi.energy`).
+    """
+
+    n_cores: int = 128
+    core: CoreSpec = dataclasses.field(default_factory=CoreSpec)
+    timestep_us: float = 100.0
+
+    def __post_init__(self):
+        if self.n_cores < 1:
+            raise ValueError("chip must have at least one core")
+        if self.timestep_us <= 0:
+            raise ValueError("timestep_us must be positive")
+
+
+class LoihiChip:
+    """A chip instance: the target of compilation and the energy model."""
+
+    def __init__(self, spec: ChipSpec = None):
+        self.spec = spec if spec is not None else ChipSpec()
+        self.cores: List[NeuroCore] = [
+            NeuroCore(i, self.spec.core) for i in range(self.spec.n_cores)]
+
+    @property
+    def cores_used(self) -> int:
+        """Occupied cores; unoccupied cores are power-gated (Section IV-A2)."""
+        return sum(core.occupied for core in self.cores)
+
+    @property
+    def max_compartments_per_core(self) -> int:
+        """The busiest core's compartment count — sets the step latency."""
+        return max((core.n_compartments for core in self.cores), default=0)
+
+    def total_compartments(self) -> int:
+        return sum(core.n_compartments for core in self.cores)
+
+    def total_synapses(self) -> int:
+        return sum(core.n_synapses for core in self.cores)
+
+    def reset(self) -> None:
+        """Release all allocations (e.g. before re-compiling)."""
+        self.cores = [NeuroCore(i, self.spec.core)
+                      for i in range(self.spec.n_cores)]

@@ -1,0 +1,219 @@
+"""CUBA leaky-integrate-and-fire compartments (Loihi neuron model).
+
+Loihi's compartments keep two integer state variables (Section II-B of the
+paper): the synaptic response current ``u`` (a decaying sum of weighted
+incoming spikes) and the membrane potential ``v`` (Eq. 8).  Decays are
+specified as 12-bit factors: the state is multiplied by
+``(4096 - decay) / 4096`` every step, so ``decay = 0`` holds the value
+forever and ``decay = 4096`` clears it each step.
+
+EMSTDP configures the forward-path neurons as pure integrate-and-fire by
+using the maximum membrane time constant (``decay_v = 0``) and an instantly
+decaying current (``decay_u = 4096``), Section III-A.
+
+All state is kept in integer arrays; thresholds and biases use Loihi's
+mantissa-times-64 convention (``vth = vth_mant << 6``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+#: Fixed-point shift of mantissa parameters (Loihi uses ``mant << 6``).
+MANT_SHIFT = 6
+
+#: Full-scale decay constant: ``decay / 4096`` of the state leaks per step.
+DECAY_SCALE = 4096
+
+
+@dataclasses.dataclass(frozen=True)
+class CompartmentPrototype:
+    """Static configuration shared by a group of compartments.
+
+    Attributes
+    ----------
+    vth_mant:
+        Threshold mantissa; the firing threshold is ``vth_mant << 6``.
+    decay_u:
+        Synaptic current decay in ``[0, 4096]``; 4096 means the current
+        vanishes every step (the IF configuration used by EMSTDP).
+    decay_v:
+        Membrane potential decay in ``[0, 4096]``; 0 means no leak.
+    bias_mant:
+        Constant bias added to the membrane every step (``bias_mant << 6``).
+        Runtime-writable per compartment — this is how inputs and labels are
+        injected (Section III-D).
+    soft_reset:
+        Subtract the threshold on spike instead of zeroing the membrane;
+        realises the ``floor(u/theta)`` rate code of Eq. (2).
+    refractory:
+        Steps of silence after a spike.
+    non_spiking:
+        A compare-only compartment (used as the auxiliary compartment of a
+        multi-compartment neuron): it integrates but never emits spikes.
+    floor_at_zero:
+        Clamp the membrane at the resting potential from below.
+    """
+
+    vth_mant: int = 256
+    decay_u: int = DECAY_SCALE
+    decay_v: int = 0
+    bias_mant: int = 0
+    soft_reset: bool = True
+    refractory: int = 0
+    non_spiking: bool = False
+    floor_at_zero: bool = True
+
+    def __post_init__(self):
+        if not 1 <= self.vth_mant <= (1 << 17):
+            raise ValueError("vth_mant out of range")
+        if not 0 <= self.decay_u <= DECAY_SCALE:
+            raise ValueError("decay_u must be in [0, 4096]")
+        if not 0 <= self.decay_v <= DECAY_SCALE:
+            raise ValueError("decay_v must be in [0, 4096]")
+        if self.refractory < 0:
+            raise ValueError("refractory must be >= 0")
+
+    @property
+    def vth(self) -> int:
+        """Integer firing threshold."""
+        return self.vth_mant << MANT_SHIFT
+
+
+def if_prototype(vth_mant: int = 256, **overrides) -> CompartmentPrototype:
+    """The paper's IF configuration: no membrane leak, instant current decay."""
+    params = dict(vth_mant=vth_mant, decay_u=DECAY_SCALE, decay_v=0)
+    params.update(overrides)
+    return CompartmentPrototype(**params)
+
+
+class CompartmentGroup:
+    """A vectorized group of compartments sharing one prototype.
+
+    Groups are the unit the compiler maps onto cores and the runtime steps.
+    A group may be designated as the *auxiliary* gate of another group to
+    form two-compartment neurons: the soma group's spikes are ANDed with
+    ``aux.active()`` (Section III-A's multi-compartment error neurons).
+    """
+
+    def __init__(self, n: int, proto: CompartmentPrototype, name: str = ""):
+        if n < 1:
+            raise ValueError("group must contain at least one compartment")
+        self.n = int(n)
+        self.proto = proto
+        self.name = name or f"group{id(self):x}"
+        self.u = np.zeros(self.n, dtype=np.int64)
+        self.v = np.zeros(self.n, dtype=np.int64)
+        self.bias = np.full(self.n, proto.bias_mant << MANT_SHIFT,
+                            dtype=np.int64)
+        self.spikes = np.zeros(self.n, dtype=bool)
+        self.spike_count = np.zeros(self.n, dtype=np.int64)
+        self._refrac = np.zeros(self.n, dtype=np.int64)
+        #: Optional gate: a group whose ``active()`` mask ANDs our spikes.
+        self.gate_group: Optional["CompartmentGroup"] = None
+        #: Host-controlled enable flag (the phase gate used by the trainer).
+        self.enabled = True
+        #: Per-compartment enable mask (host-configurable; used to disable
+        #: old-class classifier neurons in incremental learning).
+        self.mask = np.ones(self.n, dtype=bool)
+        #: Optional OR-merge companion: a same-sized compartment group whose
+        #: spikes are unioned into this group's axon output.  EMSTDP uses it
+        #: to inject positive error corrections as *additional spikes*
+        #: (h_hat = h + e) rather than membrane charge, which negative
+        #: forward drive would cancel.  The companion's spikes are taken
+        #: from its most recent step, so a companion stepped after its soma
+        #: contributes with a one-step delay.
+        self.merge_group: Optional["CompartmentGroup"] = None
+
+    # -- state management -------------------------------------------------
+
+    def set_bias(self, bias: np.ndarray) -> None:
+        """Program per-compartment biases (integer potential units)."""
+        bias = np.asarray(bias)
+        if bias.shape != (self.n,):
+            raise ValueError(f"bias must have shape ({self.n},)")
+        self.bias = bias.astype(np.int64)
+
+    def set_bias_mant(self, bias_mant: np.ndarray) -> None:
+        """Program biases via Loihi's mantissa convention."""
+        self.set_bias(np.asarray(bias_mant, dtype=np.int64) << MANT_SHIFT)
+
+    def reset_state(self) -> None:
+        """Zero membrane, current, refractory and spike flags (not counts)."""
+        self.u.fill(0)
+        self.v.fill(0)
+        self._refrac.fill(0)
+        self.spikes.fill(False)
+
+    def reset_membrane(self) -> None:
+        """Zero only the integrator state (phase-boundary reset).
+
+        Phase 2's spike count must be comparable to phase 1's: carrying the
+        phase-1 residual potential into phase 2 hands every neuron an
+        average half-threshold head start, a systematic +0.5 spike bias in
+        ``h_hat - h`` that compounds into weight drift.
+        """
+        self.u.fill(0)
+        self.v.fill(0)
+        self._refrac.fill(0)
+
+    def reset_counts(self) -> None:
+        self.spike_count.fill(0)
+
+    def active(self) -> np.ndarray:
+        """Gate mask derived from this group when used as an aux compartment.
+
+        A forward neuron "has output activities" once it spiked at least
+        once within the current sample window; the aux compartment
+        integrates those spikes without decay, so activity is simply a
+        positive membrane.
+        """
+        return self.v > 0
+
+    # -- dynamics ----------------------------------------------------------
+
+    def step(self, syn_input: np.ndarray) -> np.ndarray:
+        """Advance one timestep given integer synaptic input.
+
+        Disabled groups hold their state and stay silent (the host-side
+        phase gate of the two-phase EMSTDP schedule).
+        """
+        if not self.enabled:
+            self.spikes = np.zeros(self.n, dtype=bool)
+            return self.spikes
+        syn_input = np.asarray(syn_input, dtype=np.int64)
+        p = self.proto
+        # Current decay then accumulation (Eq. 8, forward-Euler, integer).
+        self.u = (self.u * (DECAY_SCALE - p.decay_u)) // DECAY_SCALE
+        self.u = self.u + syn_input
+        ok = self._refrac == 0
+        leaked = (self.v * (DECAY_SCALE - p.decay_v)) // DECAY_SCALE
+        self.v = np.where(ok, leaked + self.u + self.bias, self.v)
+        if p.floor_at_zero:
+            np.clip(self.v, 0, None, out=self.v)
+        if p.non_spiking:
+            self.spikes = np.zeros(self.n, dtype=bool)
+            return self.spikes
+        fired = ok & (self.v >= p.vth)
+        if p.soft_reset:
+            self.v = np.where(fired, self.v - p.vth, self.v)
+        else:
+            self.v = np.where(fired, 0, self.v)
+        if p.refractory:
+            self._refrac[fired] = p.refractory
+            decrement = ~fired & (self._refrac > 0)
+            self._refrac[decrement] -= 1
+        if self.gate_group is not None:
+            fired = fired & self.gate_group.active()
+        if self.merge_group is not None:
+            fired = fired | self.merge_group.spikes
+        fired = fired & self.mask
+        self.spikes = fired
+        self.spike_count += fired
+        return fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CompartmentGroup {self.name!r} n={self.n}>"

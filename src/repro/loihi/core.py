@@ -1,0 +1,96 @@
+"""Neuromorphic core resource model.
+
+A Loihi chip has 128 neuromorphic cores; each core owns a fixed budget of
+compartments, synaptic memory and axon routes (Section II-B).  The mapper
+assigns slices of compartment groups to cores against these budgets; the
+runtime charges time and energy per core.  Exceeding any budget raises
+:class:`CoreResourceError` at compile time, which is exactly the constraint
+that forces the paper's neurons-per-core trade-off (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+
+class CoreResourceError(Exception):
+    """A mapping request exceeded a core's hardware budget."""
+
+
+@dataclasses.dataclass(frozen=True)
+class CoreSpec:
+    """Per-core hardware budgets.
+
+    Defaults approximate Loihi: 1024 compartments per core, on the order of
+    10^5 synapses of memory, and bounded fan-in/fan-out axon tables.
+    """
+
+    max_compartments: int = 1024
+    max_synapses: int = 131072
+    max_fanin_axons: int = 4096
+    max_fanout_axons: int = 4096
+
+
+@dataclasses.dataclass
+class CoreAllocation:
+    """One slice of a compartment group placed on a core."""
+
+    group_name: str
+    start: int
+    stop: int
+    fanin_per_neuron: int
+    fanout_per_neuron: int
+
+    @property
+    def n(self) -> int:
+        return self.stop - self.start
+
+
+class NeuroCore:
+    """Tracks the resources consumed on one physical core."""
+
+    def __init__(self, core_id: int, spec: CoreSpec):
+        self.core_id = int(core_id)
+        self.spec = spec
+        self.allocations: List[CoreAllocation] = []
+        self.n_compartments = 0
+        self.n_synapses = 0
+        self.n_fanin = 0
+        self.n_fanout = 0
+
+    @property
+    def occupied(self) -> bool:
+        return self.n_compartments > 0
+
+    def can_fit(self, n: int, fanin: int, fanout: int) -> bool:
+        return (self.n_compartments + n <= self.spec.max_compartments
+                and self.n_synapses + n * fanin <= self.spec.max_synapses
+                and self.n_fanin + n * fanin <= self.spec.max_fanin_axons * 64
+                and self.n_fanout + n * fanout <= self.spec.max_fanout_axons * 64)
+
+    def allocate(self, group_name: str, start: int, stop: int,
+                 fanin: int, fanout: int) -> CoreAllocation:
+        n = stop - start
+        if n <= 0:
+            raise ValueError("empty allocation")
+        if not self.can_fit(n, fanin, fanout):
+            raise CoreResourceError(
+                f"core {self.core_id}: cannot fit {n} compartments of "
+                f"{group_name!r} (fanin {fanin}, fanout {fanout})")
+        alloc = CoreAllocation(group_name, start, stop, fanin, fanout)
+        self.allocations.append(alloc)
+        self.n_compartments += n
+        self.n_synapses += n * fanin
+        self.n_fanin += n * fanin
+        self.n_fanout += n * fanout
+        return alloc
+
+    def utilization(self) -> Tuple[float, float]:
+        """(compartment, synapse-memory) utilization fractions."""
+        return (self.n_compartments / self.spec.max_compartments,
+                self.n_synapses / self.spec.max_synapses)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<NeuroCore {self.core_id}: {self.n_compartments} cpts, "
+                f"{self.n_synapses} syns>")

@@ -1,0 +1,208 @@
+"""Layer-to-core mapping (Section III-C, Operation Flow 1).
+
+Loihi's core-based architecture bounds fan-in, fan-out, compartments and
+synaptic memory per core, so a network must be partitioned across cores.
+The paper uses a simple incremental mapper: for each layer, build the
+adjacency with its neighbours to obtain per-neuron fan-in/fan-out, derive
+the number of neurons each core can host, then assign the layer's neurons
+to consecutive cores.
+
+The *neurons-per-core* packing of the trainable layers is the knob behind
+Fig. 3: more neurons per core → fewer occupied cores → less active power,
+but a longer timestep (compartments on a core are processed sequentially)
+→ lower throughput.  :class:`Mapper` exposes that knob directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Tuple
+
+from .chip import LoihiChip
+from .core import CoreResourceError
+
+
+@dataclasses.dataclass
+class GroupPlacement:
+    """Where one compartment group landed: ``[(core_id, start, stop), ...]``."""
+
+    group_name: str
+    n: int
+    neurons_per_core: int
+    slices: List[Tuple[int, int, int]]
+    packing_hint: object = None
+
+    @property
+    def cores(self) -> List[int]:
+        return [core_id for core_id, _, _ in self.slices]
+
+
+@dataclasses.dataclass
+class Mapping:
+    """Result of mapping a network onto a chip."""
+
+    placements: Dict[str, GroupPlacement]
+    chip: LoihiChip
+
+    @property
+    def cores_used(self) -> int:
+        return self.chip.cores_used
+
+    @property
+    def max_compartments_per_core(self) -> int:
+        return self.chip.max_compartments_per_core
+
+    @property
+    def max_compartments_sweep_cores(self) -> int:
+        """Busiest core among those hosting the trainable (swept) layers.
+
+        The neurons-per-core sweep of Fig. 3 controls the service time of
+        the cores doing plasticity; densely packed static frontend cores
+        are handled by dedicated pipeline stages and do not set the
+        training-loop step time.
+        """
+        sweep_cores = set()
+        for placement in self.placements.values():
+            if placement.packing_hint == "sweep":
+                sweep_cores.update(placement.cores)
+        if not sweep_cores:
+            return self.max_compartments_per_core
+        return max(self.chip.cores[c].n_compartments for c in sweep_cores)
+
+    def cores_of(self, group_name: str) -> List[int]:
+        return self.placements[group_name].cores
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "cores_used": self.cores_used,
+            "max_compartments_per_core": self.max_compartments_per_core,
+            "total_compartments": self.chip.total_compartments(),
+            "total_synapses": self.chip.total_synapses(),
+            "per_group": {
+                name: {
+                    "n": p.n,
+                    "neurons_per_core": p.neurons_per_core,
+                    "cores": len(p.slices),
+                }
+                for name, p in self.placements.items()
+            },
+        }
+
+
+class Mapper:
+    """Incremental layer-at-a-time mapper.
+
+    Parameters
+    ----------
+    neurons_per_core:
+        Packing applied to groups whose ``packing`` hint is ``"sweep"`` (the
+        trainable dense layers).  ``None`` lets the resource-derived optimum
+        be used everywhere.
+    share_cores:
+        If ``False`` (default, matching the paper's layer-at-a-time flow),
+        every group starts on a fresh core; cores are never shared between
+        layers.
+    """
+
+    def __init__(self, neurons_per_core: Optional[int] = None,
+                 share_cores: bool = False):
+        if neurons_per_core is not None and neurons_per_core < 1:
+            raise ValueError("neurons_per_core must be >= 1")
+        self.neurons_per_core = neurons_per_core
+        self.share_cores = bool(share_cores)
+
+    def _auto_packing(self, chip: LoihiChip, fanin: int, fanout: int) -> int:
+        spec = chip.spec.core
+        by_cpt = spec.max_compartments
+        by_syn = spec.max_synapses // max(fanin, 1)
+        by_axon_in = (spec.max_fanin_axons * 64) // max(fanin, 1)
+        by_axon_out = (spec.max_fanout_axons * 64) // max(fanout, 1)
+        packing = min(by_cpt, by_syn, by_axon_in, by_axon_out)
+        if packing < 1:
+            raise CoreResourceError(
+                f"a single neuron with fan-in {fanin} exceeds core resources")
+        return packing
+
+    def map_groups(self, chip: LoihiChip,
+                   groups: List[Tuple[str, int, int, int, Optional[object],
+                                      Optional[str]]],
+                   ) -> Mapping:
+        """Map ``(name, n, fanin, fanout, packing_hint, colocate)`` tuples.
+
+        ``packing_hint`` is ``None`` (auto), an int (fixed neurons/core) or
+        the string ``"sweep"`` (use the mapper's ``neurons_per_core``).
+        ``colocate`` names an already-placed host group: the group's
+        compartments are placed on the *same cores*, index-aligned — the
+        mapping of a multi-compartment neuron's auxiliary/dendrite
+        compartments, which consume core capacity but no extra cores.
+        """
+        placements: Dict[str, GroupPlacement] = {}
+        next_core = 0
+        for name, n, fanin, fanout, hint, colocate in groups:
+            if colocate is not None:
+                host = placements.get(colocate)
+                if host is None:
+                    raise ValueError(
+                        f"{name!r} colocates with unplaced group {colocate!r}")
+                if host.n != n:
+                    raise ValueError(
+                        f"colocated group {name!r} must match host size")
+                slices = []
+                for core_id, start, stop in host.slices:
+                    chip.cores[core_id].allocate(name, start, stop,
+                                                 fanin, fanout)
+                    slices.append((core_id, start, stop))
+                placements[name] = GroupPlacement(
+                    name, n, host.neurons_per_core, slices,
+                    packing_hint=host.packing_hint)
+                continue
+            auto = self._auto_packing(chip, fanin, fanout)
+            if hint == "sweep" and self.neurons_per_core is not None:
+                packing = min(auto, self.neurons_per_core)
+            elif isinstance(hint, int):
+                packing = min(auto, hint)
+            else:
+                packing = auto
+            slices: List[Tuple[int, int, int]] = []
+            placed = 0
+            while placed < n:
+                if next_core >= chip.spec.n_cores:
+                    raise CoreResourceError(
+                        f"network does not fit: ran out of cores placing {name!r}")
+                core = chip.cores[next_core]
+                room = packing - (core.n_compartments if self.share_cores else 0)
+                take = min(room, n - placed)
+                if take < 1 or not core.can_fit(take, fanin, fanout):
+                    next_core += 1
+                    continue
+                core.allocate(name, placed, placed + take, fanin, fanout)
+                slices.append((next_core, placed, placed + take))
+                placed += take
+                if take == room or not self.share_cores:
+                    # This core is full for our packing target (or cores are
+                    # not shared between layers): move on.
+                    if placed < n:
+                        next_core += 1
+            # Layer-at-a-time: the next group starts on a fresh core.
+            if not self.share_cores and chip.cores[min(
+                    next_core, chip.spec.n_cores - 1)].occupied:
+                next_core += 1
+            placements[name] = GroupPlacement(name, n, packing, slices,
+                                              packing_hint=hint)
+        return Mapping(placements, chip)
+
+
+def optimal_neurons_per_core(candidates, evaluate) -> Tuple[int, float]:
+    """Pick the packing that minimizes ``evaluate(packing)`` (energy/sample).
+
+    The paper selects 10 neurons/core for Table II based on the Fig. 3
+    sweep; this helper automates that choice.
+    """
+    best = None
+    best_cost = math.inf
+    for c in candidates:
+        cost = evaluate(c)
+        if cost < best_cost:
+            best, best_cost = c, cost
+    return best, best_cost

@@ -1,0 +1,134 @@
+"""Timestep execution engine for a declared network.
+
+Semantics (matching a digital neuromorphic chip's barrier-synchronized
+update):
+
+1. every connection delivers the spikes its source emitted on the
+   *previous* step (one-step conduction delay);
+2. every compartment group integrates and fires, in declaration order —
+   so an auxiliary gate compartment declared before its soma gates the
+   same step's output;
+3. plastic connections update their trace counters;
+4. the learning engine runs only at host-triggered *learning epochs*
+   (the phase boundaries of Operation Flow 1), never inside the loop.
+
+The runtime also owns the counters (:class:`~repro.loihi.energy.RunStats`)
+that the energy model turns into Table II / Fig. 3 rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .compartment import CompartmentGroup
+from .energy import RunStats
+from .microcode import LearningEngine, SumOfProducts
+from .sdk import Network
+
+
+class Runtime:
+    """Steps a network and orchestrates learning epochs."""
+
+    def __init__(self, network: Network,
+                 rng: Optional[np.random.Generator] = None,
+                 stochastic_rounding: bool = True):
+        self.network = network
+        self.engine = LearningEngine(
+            rng=rng if rng is not None else np.random.default_rng(),
+            stochastic_rounding=stochastic_rounding)
+        #: rule book: learning_rule name -> {epoch name -> [rules]}
+        self.rulebook: Dict[str, Dict[str, List[SumOfProducts]]] = {}
+        self.stats = RunStats()
+        self.stats.plastic_synapses = network.n_plastic_synapses()
+        self._syn_events_seen = 0
+
+    # -- learning-rule registry ---------------------------------------------
+
+    def register_rule(self, name: str,
+                      epochs: Dict[str, List[SumOfProducts]]) -> None:
+        """Associate microcode rule lists with named learning epochs."""
+        self.rulebook[name] = epochs
+
+    # -- host controls ---------------------------------------------------------
+
+    def set_bias(self, group_name: str, bias: np.ndarray) -> None:
+        """Host->chip write programming per-compartment biases."""
+        self.network.group(group_name).set_bias(bias)
+
+    def enable(self, group_names: Iterable[str]) -> None:
+        for name in group_names:
+            self.network.group(name).enabled = True
+
+    def disable(self, group_names: Iterable[str]) -> None:
+        for name in group_names:
+            self.network.group(name).enabled = False
+
+    # -- execution ---------------------------------------------------------------
+
+    def step(self) -> None:
+        """One barrier-synchronized timestep."""
+        currents: Dict[str, np.ndarray] = {
+            g.name: np.zeros(g.n, dtype=np.int64) for g in self.network.groups}
+        for conn in self.network.connections:
+            if conn.src.spikes.any():
+                currents[conn.dst.name] += conn.propagate(conn.src.spikes)
+        n_spikes = 0
+        for group in self.network.groups:
+            fired = group.step(currents[group.name])
+            n_spikes += int(fired.sum())
+        for conn in self.network.connections:
+            if conn.plastic:
+                conn.update_traces(conn.src.spikes, conn.dst.spikes)
+        self.stats.steps += 1
+        self.stats.spikes += n_spikes
+
+    def run(self, steps: int) -> None:
+        for _ in range(steps):
+            self.step()
+        self._collect_syn_events()
+
+    def _collect_syn_events(self) -> None:
+        total = sum(c.syn_events for c in self.network.connections)
+        self.stats.syn_events += total - self._syn_events_seen
+        self._syn_events_seen = total
+
+    def learning_epoch(self, epoch: str) -> None:
+        """Run the learning engine for one named epoch on all plastic
+        connections that registered rules for it."""
+        for conn in self.network.connections:
+            if not conn.plastic or not conn.learning_rule:
+                continue
+            rules = self.rulebook.get(conn.learning_rule, {}).get(epoch)
+            if rules:
+                self.engine.apply_all(rules, conn)
+        self.stats.learning_epochs += 1
+
+    # -- state management ----------------------------------------------------------
+
+    def reset_traces(self) -> None:
+        for conn in self.network.connections:
+            conn.reset_traces()
+
+    def reset_tags(self) -> None:
+        for conn in self.network.connections:
+            conn.reset_tag()
+
+    def reset_membranes(self, group_names: Iterable[str]) -> None:
+        """Phase-boundary reset of selected groups' integrator state."""
+        for name in group_names:
+            self.network.group(name).reset_membrane()
+
+    def reset_state(self, counts: bool = True) -> None:
+        """Reset network state between samples (Operation Flow 1)."""
+        for group in self.network.groups:
+            group.reset_state()
+            if counts:
+                group.reset_counts()
+
+    def spike_counts(self, group_name: str) -> np.ndarray:
+        return self.network.group(group_name).spike_count.copy()
+
+    def mark_sample(self) -> None:
+        self.stats.samples += 1

@@ -1,0 +1,70 @@
+"""Pre- and post-synaptic trace counters.
+
+Loihi's learning engine exposes exponentially filtered spike traces (``x1``,
+``x2`` on the presynaptic side, ``y1``..``y3`` on the postsynaptic side).
+EMSTDP configures them as *counters* — impulse 1, no decay — so that at the
+end of a phase the trace equals the spike count of that phase (the paper's
+"built in post-synaptic trace counter" approximation, contribution 2 in the
+introduction).
+
+Traces saturate at 7 bits (127) like the hardware's trace registers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+#: Saturation value of a hardware trace register.
+TRACE_MAX = 127
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceConfig:
+    """Impulse/decay configuration of one trace register.
+
+    ``decay`` is the per-step multiplicative factor in [0, 1]: a counter
+    uses ``impulse=1, decay=1.0``; a classic STDP trace would use e.g.
+    ``impulse=16, decay=exp(-1/tau)``.
+    """
+
+    impulse: int = 1
+    decay: float = 1.0
+
+    def __post_init__(self):
+        if self.impulse < 0 or self.impulse > TRACE_MAX:
+            raise ValueError("impulse must be in [0, 127]")
+        if not 0.0 <= self.decay <= 1.0:
+            raise ValueError("decay must be in [0, 1]")
+
+
+class TraceState:
+    """Vector of trace registers for one compartment group."""
+
+    def __init__(self, n: int, config: TraceConfig = TraceConfig()):
+        self.n = int(n)
+        self.config = config
+        self.values = np.zeros(self.n, dtype=np.float64)
+
+    def update(self, spikes: np.ndarray) -> None:
+        """One timestep: decay, then add the impulse where spikes occurred."""
+        spikes = np.asarray(spikes, dtype=bool)
+        if spikes.shape != (self.n,):
+            raise ValueError(f"spikes must have shape ({self.n},)")
+        if self.config.decay != 1.0:
+            self.values *= self.config.decay
+        self.values = np.minimum(self.values + self.config.impulse * spikes,
+                                 TRACE_MAX)
+
+    def read(self) -> np.ndarray:
+        """Integer trace values as the learning engine sees them."""
+        return np.floor(self.values).astype(np.int64)
+
+    def reset(self) -> None:
+        self.values.fill(0.0)
+
+
+def counter_trace(n: int) -> TraceState:
+    """A spike-count trace (impulse 1, no decay) — EMSTDP's configuration."""
+    return TraceState(n, TraceConfig(impulse=1, decay=1.0))

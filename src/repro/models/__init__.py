@@ -1,0 +1,10 @@
+"""Offline model substrate: topology parsing and conv-frontend pretraining."""
+
+from .conv import (ConvFrontend, ConvLayer, LinearLayer, PretrainResult,
+                   im2col, softmax_cross_entropy)
+from .topology import (ConvSpec, DenseSpec, InputSpec, feature_dims,
+                       paper_topology, parse_topology)
+
+__all__ = ["ConvFrontend", "ConvLayer", "ConvSpec", "DenseSpec", "InputSpec",
+           "LinearLayer", "PretrainResult", "feature_dims", "im2col",
+           "paper_topology", "parse_topology", "softmax_cross_entropy"]

@@ -1,0 +1,74 @@
+"""Conversion of pretrained conv layers into fixed on-chip weight matrices.
+
+The paper maps the offline-pretrained convolutions onto Loihi as ordinary
+(non-plastic) synaptic connectivity; a strided convolution is just a sparse
+linear map, so each conv layer unrolls into a dense ``(n_in, n_out)`` matrix
+whose nonzero pattern is the receptive-field structure.  A ReLU unit with
+non-negative input maps onto an IF neuron whose rate is the (clipped)
+normalized pre-activation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .conv import ConvFrontend
+
+
+def conv_layer_matrix(weight: np.ndarray, kernel: int, stride: int,
+                      in_shape: Tuple[int, int, int]
+                      ) -> Tuple[np.ndarray, Tuple[int, int, int]]:
+    """Unroll an im2col conv weight into a flat ``(n_in, n_out)`` matrix.
+
+    ``weight`` has shape ``(kernel*kernel*C_in, C_out)`` as stored by
+    :class:`~repro.models.conv.ConvLayer`; ``in_shape`` is ``(H, W, C_in)``.
+    """
+    h, w, c = in_shape
+    pad = kernel // 2
+    oh = (h + 2 * pad - kernel) // stride + 1
+    ow = (w + 2 * pad - kernel) // stride + 1
+    c_out = weight.shape[1]
+    mat = np.zeros((h * w * c, oh * ow * c_out))
+    for orow in range(oh):
+        for ocol in range(ow):
+            base_r = orow * stride - pad
+            base_c = ocol * stride - pad
+            for dr in range(kernel):
+                for dc in range(kernel):
+                    r, cc_ = base_r + dr, base_c + dc
+                    if not (0 <= r < h and 0 <= cc_ < w):
+                        continue
+                    k_idx = dr * kernel + dc
+                    for ci in range(c):
+                        src = (r * w + cc_) * c + ci
+                        dst0 = (orow * ow + ocol) * c_out
+                        mat[src, dst0:dst0 + c_out] += \
+                            weight[k_idx * c + ci, :]
+    return mat, (oh, ow, c_out)
+
+
+def frontend_matrices(frontend: ConvFrontend
+                      ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """All conv layers of a frontend as flat matrices (weights, biases).
+
+    Weights and biases are normalized by the frontend's feature scale so the
+    resulting IF rates live in [0, 1] like the offline features.  The
+    normalization is folded into the *last* conv layer only (earlier layers'
+    scales cancel through the linear maps between ReLUs only approximately;
+    per-layer scales are calibrated from the layer activations instead).
+    """
+    mats: List[np.ndarray] = []
+    biases: List[np.ndarray] = []
+    shape = frontend.input_spec.shape
+    for i, layer in enumerate(frontend.conv_layers):
+        mat, shape = conv_layer_matrix(layer.weight, layer.spec.kernel,
+                                       layer.spec.stride, shape)
+        bias = np.tile(layer.bias, shape[0] * shape[1])
+        if i == len(frontend.conv_layers) - 1:
+            mat = mat / frontend.feature_scale
+            bias = bias / frontend.feature_scale
+        mats.append(mat)
+        biases.append(bias)
+    return mats, biases

@@ -1,0 +1,110 @@
+"""Parser for the paper's network topology strings.
+
+Section IV-A describes the evaluation network as::
+
+    W x H x C - 5x5k 16c 2s - 3x3k 8c 2s - 100d - 10d
+
+i.e. an input volume, two strided convolutions (kernel ``k``, channels
+``c``, stride ``s``) and two dense layers.  :func:`parse_topology` accepts
+the compact form ``"16x16x1-5x5k16c2s-3x3k8c2s-100d-10d"`` and returns the
+layer specs plus the resulting feature dimensions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import List, Tuple, Union
+
+
+@dataclasses.dataclass(frozen=True)
+class InputSpec:
+    height: int
+    width: int
+    channels: int
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return (self.height, self.width, self.channels)
+
+
+@dataclasses.dataclass(frozen=True)
+class ConvSpec:
+    kernel: int
+    channels: int
+    stride: int
+
+    def output_hw(self, h: int, w: int) -> Tuple[int, int]:
+        """Output spatial size with 'same-ish' padding of kernel//2."""
+        pad = self.kernel // 2
+        oh = (h + 2 * pad - self.kernel) // self.stride + 1
+        ow = (w + 2 * pad - self.kernel) // self.stride + 1
+        return oh, ow
+
+
+@dataclasses.dataclass(frozen=True)
+class DenseSpec:
+    units: int
+
+
+LayerSpec = Union[ConvSpec, DenseSpec]
+
+_INPUT_RE = re.compile(r"^(\d+)x(\d+)x(\d+)$")
+_CONV_RE = re.compile(r"^(\d+)x(\d+)k(\d+)c(\d+)s$")
+_DENSE_RE = re.compile(r"^(\d+)d$")
+
+
+def parse_topology(spec: str) -> Tuple[InputSpec, List[LayerSpec]]:
+    """Parse a topology string into an input spec and layer specs."""
+    tokens = [t.strip() for t in spec.replace(" ", "").split("-") if t.strip()]
+    if not tokens:
+        raise ValueError("empty topology spec")
+    m = _INPUT_RE.match(tokens[0])
+    if not m:
+        raise ValueError(f"first token must be WxHxC, got {tokens[0]!r}")
+    input_spec = InputSpec(*(int(g) for g in m.groups()))
+    layers: List[LayerSpec] = []
+    for tok in tokens[1:]:
+        m = _CONV_RE.match(tok)
+        if m:
+            kh, kw, ch, st = (int(g) for g in m.groups())
+            if kh != kw:
+                raise ValueError(f"only square kernels supported: {tok!r}")
+            layers.append(ConvSpec(kernel=kh, channels=ch, stride=st))
+            continue
+        m = _DENSE_RE.match(tok)
+        if m:
+            layers.append(DenseSpec(units=int(m.group(1))))
+            continue
+        raise ValueError(f"cannot parse layer token {tok!r}")
+    if not layers or not isinstance(layers[-1], DenseSpec):
+        raise ValueError("topology must end with a dense layer")
+    for a, b in zip(layers, layers[1:]):
+        if isinstance(a, DenseSpec) and isinstance(b, ConvSpec):
+            raise ValueError("conv layers cannot follow dense layers")
+    return input_spec, layers
+
+
+def feature_dims(spec: str) -> Tuple[int, List[int]]:
+    """Flattened conv-feature size and the dense layer widths.
+
+    Returns ``(n_features, dense_units)`` where ``n_features`` is the input
+    dimension of the first dense layer (the on-chip trainable part).
+    """
+    input_spec, layers = parse_topology(spec)
+    h, w, c = input_spec.shape
+    dense: List[int] = []
+    for layer in layers:
+        if isinstance(layer, ConvSpec):
+            if dense:
+                raise ValueError("conv after dense")
+            h, w = layer.output_hw(h, w)
+            c = layer.channels
+        else:
+            dense.append(layer.units)
+    return h * w * c, dense
+
+
+def paper_topology(side: int = 16, channels: int = 1) -> str:
+    """The Section IV-A network at a given input size."""
+    return f"{side}x{side}x{channels}-5x5k16c2s-3x3k8c2s-100d-10d"

@@ -1,0 +1,7 @@
+"""EMSTDP mapped onto the chip simulator under hardware constraints."""
+
+from .builder import OnChipEMSTDP, ScaleScheme, build_emstdp_network
+from .trainer import LoihiEMSTDPTrainer, eta_exponent
+
+__all__ = ["LoihiEMSTDPTrainer", "OnChipEMSTDP", "ScaleScheme",
+           "build_emstdp_network", "eta_exponent"]

@@ -1,0 +1,365 @@
+"""Builds the EMSTDP forward + error networks on the chip (Fig. 1b).
+
+Wiring summary (Section III-A):
+
+* **Forward path** — IF groups per layer (``decay_v = 0``, instant current
+  decay) with plastic 8-bit connections; a shared always-on *bias* neuron
+  provides trainable biases through ordinary plastic synapses.
+* **Loss layer** — a bias-driven *label* group and two output error
+  channels (positive/negative) integrating ``+w_L * target - w_L * predicted``
+  (Eq. 6).  Error spikes feed back one-to-one into the output forward
+  neurons with a full threshold's worth of charge.
+* **FA** — per-hidden-layer two-channel error groups, cross-connected with
+  ``+B``/``-B`` between channels (Eq. 10), each gated by an auxiliary
+  compartment that accumulates its forward partner's spikes (the
+  multi-compartment AND gate realizing ``h'``).
+* **DFA** — no hidden error neurons: the output error channels broadcast
+  through fixed random ``+D``/``-D`` blocks straight into the hidden
+  forward neurons' membranes.
+
+All weights are signed 8-bit mantissas; the translation between the
+algorithm's normalized units (threshold = 1.0, rates in [0, 1]) and chip
+integer units is captured by :class:`ScaleScheme`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import EMSTDPConfig, validate_dims
+from ..core.feedback import make_dfa_weights, make_fa_weights
+from ..loihi.compartment import CompartmentPrototype, if_prototype
+from ..loihi.sdk import Network
+from ..loihi.synapse import WEIGHT_MANT_MAX
+
+
+@dataclasses.dataclass(frozen=True)
+class ScaleScheme:
+    """Fixed-point translation between normalized and chip units.
+
+    A normalized weight ``w`` (clip ``weight_clip``) maps to mantissa
+    ``round(w / step)`` with ``step = weight_clip / 127``; one mantissa unit
+    delivers ``weight_scale`` integer membrane units per spike, chosen so a
+    full-scale weight contributes ``weight_clip * vth``.
+    """
+
+    vth_mant: int = 256
+    weight_clip: float = 2.0
+
+    @property
+    def vth(self) -> int:
+        return self.vth_mant << 6
+
+    @property
+    def step(self) -> float:
+        return self.weight_clip / WEIGHT_MANT_MAX
+
+    @property
+    def weight_scale(self) -> int:
+        return max(1, round(self.step * self.vth))
+
+    def to_mant(self, w_norm: np.ndarray) -> np.ndarray:
+        """Quantize normalized weights to 8-bit mantissas."""
+        mant = np.round(np.asarray(w_norm, dtype=float) / self.step)
+        return np.clip(mant, -WEIGHT_MANT_MAX, WEIGHT_MANT_MAX).astype(np.int64)
+
+    def from_mant(self, mant: np.ndarray) -> np.ndarray:
+        return np.asarray(mant, dtype=float) * self.step
+
+    def rate_to_bias(self, rate: np.ndarray) -> np.ndarray:
+        """Bias integer producing spike rate ``rate`` in an IF compartment."""
+        return np.round(np.clip(np.asarray(rate, dtype=float), 0.0, 1.0)
+                        * self.vth).astype(np.int64)
+
+    def unit_weight_mant(self, gain: float = 1.0) -> int:
+        """Mantissa whose contribution is ``gain`` thresholds per spike."""
+        mant = round(gain * self.vth / self.weight_scale)
+        if not 1 <= abs(mant) <= WEIGHT_MANT_MAX:
+            raise ValueError(f"gain {gain} not representable in 8 bits")
+        return mant
+
+
+@dataclasses.dataclass
+class OnChipEMSTDP:
+    """Handle to a built on-chip EMSTDP network: groups by role."""
+
+    network: Network
+    config: EMSTDPConfig
+    scales: ScaleScheme
+    dims: tuple
+    forward_names: List[str]
+    plastic_connections: List[object]
+    error_path_names: List[str]
+    label_name: Optional[str]
+    bias_name: Optional[str]
+
+    @property
+    def input_name(self) -> str:
+        return self.forward_names[0]
+
+    @property
+    def output_name(self) -> str:
+        return self.forward_names[-1]
+
+    def forward_weight_norms(self) -> List[np.ndarray]:
+        """Current forward weights in normalized units (for inspection)."""
+        return [self.scales.from_mant(c.weight_mant)
+                for c in self.plastic_connections]
+
+
+def build_emstdp_network(dims: Sequence[int], config: EMSTDPConfig,
+                         rng: Optional[np.random.Generator] = None,
+                         initial_weights: Optional[List[np.ndarray]] = None,
+                         feedback_weights: Optional[List[np.ndarray]] = None,
+                         include_error_path: bool = True,
+                         scales: Optional[ScaleScheme] = None,
+                         frontend_packing: Optional[int] = None,
+                         frontend_layers: Optional[List] = None,
+                         ) -> OnChipEMSTDP:
+    """Construct the full Fig. 1b network on the chip.
+
+    ``initial_weights`` / ``feedback_weights`` accept the normalized-unit
+    matrices of an :class:`~repro.core.EMSTDPNetwork` (including the bias
+    row when ``config.use_bias_neuron``), enabling like-for-like comparisons
+    between the chip and the FP reference.  ``include_error_path=False``
+    builds the inference-only network used for the Table II "Testing"
+    columns.
+
+    ``frontend_layers`` is an optional list of ``(matrix, bias)`` pairs in
+    normalized units — the offline-pretrained conv layers unrolled by
+    :func:`repro.models.convert.frontend_matrices` — mapped as fixed
+    (non-plastic) spiking layers in front of the trainable part; the first
+    frontend group becomes the bias-programmed input layer.
+    """
+    dims = validate_dims(dims)
+    cfg = config
+    if scales is None:
+        clip = cfg.weight_clip if cfg.weight_clip is not None else 2.0
+        scales = ScaleScheme(weight_clip=clip)
+    if rng is None:
+        rng = np.random.default_rng(cfg.seed)
+    n_layers = len(dims) - 1
+    n_out = dims[-1]
+    net = Network("emstdp")
+    # Forward-path compartments use a *signed* membrane (no zero floor):
+    # phase-2 correction spikes must add and subtract charge symmetrically,
+    # otherwise inhibitory corrections are partially lost to the clamp and
+    # every hidden neuron picks up a systematic positive rate bias that
+    # compounds into weight growth.  The error channels keep the floor —
+    # their rectification is exactly what the +/- channel pair implements.
+    proto = if_prototype(vth_mant=scales.vth_mant, floor_at_zero=False)
+    err_proto = if_prototype(vth_mant=scales.vth_mant, floor_at_zero=True)
+    aux_proto = CompartmentPrototype(vth_mant=scales.vth_mant, decay_u=4096,
+                                     decay_v=0, non_spiking=True)
+
+    # ---- fixed frontend (offline-pretrained conv layers) -------------------
+    frontend_names: List[str] = []
+    prev_frontend = None
+    if frontend_layers:
+        first_mat = np.asarray(frontend_layers[0][0], dtype=float)
+        prev_frontend = net.create_group(first_mat.shape[0], proto,
+                                         "frontend0", packing=frontend_packing)
+        frontend_names.append("frontend0")
+        for k, (mat, bias) in enumerate(frontend_layers):
+            mat = np.asarray(mat, dtype=float)
+            nxt = net.create_group(mat.shape[1], proto, f"frontend{k + 1}",
+                                   packing=frontend_packing)
+            frontend_names.append(f"frontend{k + 1}")
+            net.connect(prev_frontend, nxt, scales.to_mant(mat),
+                        scales.weight_scale, name=f"conv{k}")
+            if bias is not None:
+                nxt.set_bias(scales.rate_to_bias(np.zeros(mat.shape[1]))
+                             + np.round(np.asarray(bias, dtype=float)
+                                        * scales.vth).astype(np.int64))
+            prev_frontend = nxt
+        if prev_frontend.n != dims[0]:
+            raise ValueError(
+                f"frontend output ({prev_frontend.n}) must match dims[0] "
+                f"({dims[0]})")
+
+    # ---- forward path ----------------------------------------------------
+    if prev_frontend is not None:
+        forward = [prev_frontend]
+    else:
+        forward = [net.create_group(dims[0], proto, "fwd0", packing=None)]
+    for i in range(1, len(dims)):
+        forward.append(net.create_group(
+            dims[i], proto, f"fwd{i}",
+            packing="sweep" if i >= 1 else None))
+
+    if initial_weights is None:
+        initial_weights = []
+        for i in range(n_layers):
+            fan_in = dims[i] + (1 if cfg.use_bias_neuron else 0)
+            limit = cfg.init_scale * np.sqrt(6.0 / fan_in)
+            initial_weights.append(
+                rng.uniform(-limit, limit,
+                            size=(fan_in, dims[i + 1])))
+
+    bias_group = None
+    if cfg.use_bias_neuron:
+        bias_group = net.create_group(1, proto, "bias")
+        bias_group.set_bias(np.array([scales.vth]))  # fires every step
+
+    plastic = []
+    for i in range(n_layers):
+        w = np.asarray(initial_weights[i], dtype=float)
+        expected_rows = dims[i] + (1 if cfg.use_bias_neuron else 0)
+        if w.shape != (expected_rows, dims[i + 1]):
+            raise ValueError(
+                f"layer {i} weights must be {(expected_rows, dims[i + 1])}, "
+                f"got {w.shape}")
+        main = scales.to_mant(w[:dims[i]])
+        conn = net.connect(forward[i], forward[i + 1], main,
+                           scales.weight_scale, plastic=True,
+                           learning_rule="emstdp",
+                           name=f"W{i}")
+        plastic.append(conn)
+        if cfg.use_bias_neuron:
+            brow = scales.to_mant(w[dims[i]:dims[i] + 1])
+            bconn = net.connect(bias_group, forward[i + 1], brow,
+                                scales.weight_scale, plastic=True,
+                                learning_rule="emstdp",
+                                name=f"Wb{i}")
+            plastic.append(bconn)
+
+    error_names: List[str] = []
+    label_name = None
+    if include_error_path:
+        # ---- loss layer ----------------------------------------------------
+        label = net.create_group(n_out, err_proto, "label")
+        label_name = "label"
+        err_pos = net.create_group(n_out, err_proto, "err_out_pos")
+        err_neg = net.create_group(n_out, err_proto, "err_out_neg")
+        error_names += ["label", "err_out_pos", "err_out_neg"]
+        wl = scales.unit_weight_mant(cfg.error_gain)
+        eye = np.eye(n_out, dtype=np.int64)
+        net.connect(label, err_pos, wl * eye, scales.weight_scale, name="L+")
+        net.connect(forward[-1], err_pos, -wl * eye, scales.weight_scale,
+                    name="O-")
+        net.connect(label, err_neg, -wl * eye, scales.weight_scale, name="L-")
+        net.connect(forward[-1], err_neg, wl * eye, scales.weight_scale,
+                    name="O+")
+        if cfg.gate_output:
+            aux = net.create_group(n_out, aux_proto, "err_out_aux",
+                                   colocate=forward[-1].name)
+            error_names.append("err_out_aux")
+            one = scales.unit_weight_mant(1.0)
+            net.connect(forward[-1], aux, one * eye, scales.weight_scale,
+                        name="gate_out")
+            err_pos.gate_group = aux
+            err_neg.gate_group = aux
+        # One-to-one corrections into the output layer.  Positive errors
+        # must *add spikes* (h_hat = h + e), so they drive a dendritic
+        # OR-merge compartment that fires once per error spike; a membrane
+        # injection would be cancelled by negative forward drive.  Negative
+        # errors subtract a threshold's charge from the (firing) soma.
+        unit = scales.unit_weight_mant(1.0)
+        corr_out = net.create_group(n_out, err_proto, "corr_out",
+                                    colocate=forward[-1].name)
+        error_names.append("corr_out")
+        net.connect(err_pos, corr_out, unit * eye, scales.weight_scale,
+                    name="corr_out+")
+        forward[-1].merge_group = corr_out
+        net.connect(err_neg, forward[-1], -unit * eye, scales.weight_scale,
+                    name="corr_out-")
+
+        # ---- feedback path -------------------------------------------------
+        if feedback_weights is None:
+            maker = make_fa_weights if cfg.feedback == "fa" else make_dfa_weights
+            feedback_weights = maker(dims, rng, cfg.feedback_scale)
+        if cfg.feedback == "dfa":
+            # The output error broadcasts through fixed random D into
+            # per-neuron correction *dendrites* of the hidden forward
+            # neurons (no separate error neurons, preserving DFA's resource
+            # savings).  The dendrites are IF compartments: broadcast charge
+            # below one threshold never surfaces, filtering the noise that a
+            # raw membrane injection would integrate into weight drift.
+            # Positive dendrites OR-merge extra spikes into the soma's
+            # axon; negative dendrites subtract a threshold's charge.
+            for i in range(n_layers - 1):
+                n_hid = dims[i + 1]
+                d = np.asarray(feedback_weights[i], dtype=float)
+                dm = scales.to_mant(cfg.hidden_error_gain * d)
+                dend_pos = net.create_group(n_hid, err_proto, f"dfa{i}_pos",
+                                            colocate=forward[i + 1].name)
+                dend_neg = net.create_group(n_hid, err_proto, f"dfa{i}_neg",
+                                            colocate=forward[i + 1].name)
+                error_names += [f"dfa{i}_pos", f"dfa{i}_neg"]
+                net.connect(err_pos, dend_pos, dm, scales.weight_scale,
+                            name=f"D{i}++")
+                net.connect(err_neg, dend_pos, -dm, scales.weight_scale,
+                            name=f"D{i}-+")
+                net.connect(err_pos, dend_neg, -dm, scales.weight_scale,
+                            name=f"D{i}+-")
+                net.connect(err_neg, dend_neg, dm, scales.weight_scale,
+                            name=f"D{i}--")
+                eye_h = np.eye(n_hid, dtype=np.int64)
+                one = scales.unit_weight_mant(1.0)
+                if cfg.gate_hidden:
+                    aux = net.create_group(n_hid, aux_proto, f"dfa{i}_aux",
+                                           colocate=forward[i + 1].name)
+                    error_names.append(f"dfa{i}_aux")
+                    net.connect(forward[i + 1], aux, one * eye_h,
+                                scales.weight_scale, name=f"dfa_gate{i}")
+                    dend_pos.gate_group = aux
+                    dend_neg.gate_group = aux
+                forward[i + 1].merge_group = dend_pos
+                net.connect(dend_neg, forward[i + 1], -one * eye_h,
+                            scales.weight_scale, name=f"dfa_corr{i}-")
+        else:
+            above_pos, above_neg = err_pos, err_neg
+            for i in range(n_layers - 2, -1, -1):
+                n_hid = dims[i + 1]
+                aux = net.create_group(n_hid, aux_proto, f"err{i}_aux",
+                                       colocate=forward[i + 1].name)
+                hp = net.create_group(n_hid, err_proto, f"err{i}_pos",
+                                      packing="sweep")
+                hn = net.create_group(n_hid, err_proto, f"err{i}_neg",
+                                      packing="sweep")
+                error_names += [f"err{i}_aux", f"err{i}_pos", f"err{i}_neg"]
+                b = np.asarray(feedback_weights[i], dtype=float)
+                bm = scales.to_mant(cfg.hidden_error_gain * b)
+                # Eq. (10): cross-connected +/- blocks between channels.
+                net.connect(above_pos, hp, bm, scales.weight_scale,
+                            name=f"B{i}++")
+                net.connect(above_neg, hp, -bm, scales.weight_scale,
+                            name=f"B{i}-+")
+                net.connect(above_pos, hn, -bm, scales.weight_scale,
+                            name=f"B{i}+-")
+                net.connect(above_neg, hn, bm, scales.weight_scale,
+                            name=f"B{i}--")
+                eye_h = np.eye(n_hid, dtype=np.int64)
+                one = scales.unit_weight_mant(1.0)
+                if cfg.gate_hidden:
+                    net.connect(forward[i + 1], aux, one * eye_h,
+                                scales.weight_scale, name=f"gate{i}")
+                    hp.gate_group = aux
+                    hn.gate_group = aux
+                corr_h = net.create_group(n_hid, err_proto, f"corr{i}",
+                                          colocate=forward[i + 1].name)
+                error_names.append(f"corr{i}")
+                net.connect(hp, corr_h, one * eye_h,
+                            scales.weight_scale, name=f"corr{i}+")
+                forward[i + 1].merge_group = corr_h
+                net.connect(hn, forward[i + 1], -one * eye_h,
+                            scales.weight_scale, name=f"corr{i}-")
+                above_pos, above_neg = hp, hn
+
+    if frontend_packing is not None and not frontend_layers:
+        forward[0].packing = frontend_packing
+
+    return OnChipEMSTDP(
+        network=net,
+        config=cfg,
+        scales=scales,
+        dims=dims,
+        forward_names=frontend_names[:-1] + [g.name for g in forward],
+        plastic_connections=plastic,
+        error_path_names=error_names,
+        label_name=label_name,
+        bias_name="bias" if cfg.use_bias_neuron else None,
+    )

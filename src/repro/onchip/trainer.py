@@ -1,0 +1,212 @@
+"""Operation Flow 1: in-hardware learning on the (simulated) chip.
+
+Per training sample:
+
+1. quantize the input to ``T`` bins and program it as the *bias* of the
+   input-layer neurons (one host->chip transaction, Section III-D); program
+   the label bias likewise;
+2. **Phase 1** (``T`` steps): forward path only — the error-path soma
+   groups are held disabled, but the auxiliary gate compartments integrate
+   forward spikes so the ``h'`` gates know who was active;
+3. learning epoch at ``T``: microcode ``dt = y1`` stashes the phase-1
+   spike count ``h`` in each synapse's tag; traces reset;
+4. **Phase 2** (``T`` steps): error path enabled; error spikes flow and
+   pull the forward rates toward the targets ``h_hat``;
+5. learning epoch at ``2T``: ``dt = y1`` completes the tag
+   (``Z = h + h_hat``), then the Eq. (12) weight rule
+   ``dw = 2^(e+1)*y1*x1 - 2^e*t*x1`` fires with stochastic rounding;
+6. all state (membrane potentials, traces, tags) resets.
+
+Inference runs phase 1 only and reads the output spike counters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.encoding import quantize_to_bins
+from ..loihi.chip import LoihiChip
+from ..loihi.energy import EnergyModel, EnergyReport
+from ..loihi.mapping import Mapping
+from ..loihi.microcode import emstdp_rules, phase1_tag_rules
+from ..loihi.runtime import Runtime
+from ..loihi.synapse import WEIGHT_MANT_MAX
+from .builder import OnChipEMSTDP
+
+
+def eta_exponent(eta: float, weight_clip: float, T: int) -> int:
+    """Microcode scale exponent realizing learning rate ``eta``.
+
+    The reference rule operates on normalized rates (``h/T``) and weights
+    (step ``clip/127``); the chip rule multiplies raw counts, so the per-
+    mantissa scale is ``eta * 127 / (clip * T^2)``, rounded to the nearest
+    power of two as the hardware requires.
+    """
+    scale = eta * WEIGHT_MANT_MAX / (weight_clip * T * T)
+    return round(math.log2(scale))
+
+
+class LoihiEMSTDPTrainer:
+    """Drives an :class:`~repro.onchip.builder.OnChipEMSTDP` network."""
+
+    def __init__(self, model: OnChipEMSTDP,
+                 rng: Optional[np.random.Generator] = None,
+                 chip: Optional[LoihiChip] = None,
+                 neurons_per_core: Optional[int] = None,
+                 compile_now: bool = True):
+        self.model = model
+        cfg = model.config
+        self.runtime = Runtime(
+            model.network,
+            rng=rng if rng is not None else np.random.default_rng(cfg.seed + 1),
+            stochastic_rounding=cfg.stochastic_rounding)
+        clip = cfg.weight_clip if cfg.weight_clip is not None else 2.0
+        self.eta_exp = eta_exponent(cfg.learning_rate, clip, cfg.T)
+        self.runtime.register_rule("emstdp", {
+            "phase1_end": phase1_tag_rules(),
+            "phase2_end": emstdp_rules(self.eta_exp),
+        })
+        #: Error-path groups that only run in phase 2 (soma channels and the
+        #: label group).  The auxiliary gate compartments stay enabled in
+        #: phase 1 so they can record forward activity.
+        self._phase2_names = [n for n in model.error_path_names
+                              if "aux" not in n]
+        self.mapping: Optional[Mapping] = None
+        if compile_now:
+            self.compile(chip, neurons_per_core)
+        self._class_mask = np.ones(model.dims[-1], dtype=bool)
+        self.samples_trained = 0
+
+    # -- deployment -----------------------------------------------------------
+
+    def compile(self, chip: Optional[LoihiChip] = None,
+                neurons_per_core: Optional[int] = None) -> Mapping:
+        """Map the network onto chip cores (Operation Flow 1's deploy step)."""
+        self.mapping = self.model.network.compile(chip, neurons_per_core)
+        return self.mapping
+
+    # -- class masking (incremental learning) -----------------------------------
+
+    def set_class_mask(self, active_classes: Sequence[int]) -> None:
+        """Disable the classifier (and error) neurons of inactive classes."""
+        mask = np.zeros(self.model.dims[-1], dtype=bool)
+        mask[list(active_classes)] = True
+        if not mask.any():
+            raise ValueError("at least one class must stay active")
+        self._class_mask = mask
+        net = self.model.network
+        net.group(self.model.output_name).mask = mask.copy()
+        if self.model.label_name is not None:
+            net.group(self.model.label_name).mask = mask.copy()
+            net.group("err_out_pos").mask = mask.copy()
+            net.group("err_out_neg").mask = mask.copy()
+
+    def clear_class_mask(self) -> None:
+        self.set_class_mask(range(self.model.dims[-1]))
+
+    # -- sample-level operations ---------------------------------------------------
+
+    def _program_input(self, x: np.ndarray) -> None:
+        cfg = self.model.config
+        rate = quantize_to_bins(np.asarray(x, dtype=float), cfg.T)
+        self.runtime.set_bias(self.model.input_name,
+                              self.model.scales.rate_to_bias(rate))
+
+    def _program_label(self, label: int) -> None:
+        target = np.zeros(self.model.dims[-1])
+        target[label] = 1.0
+        self.runtime.set_bias(self.model.label_name,
+                              self.model.scales.rate_to_bias(target))
+
+    def train_sample(self, x: np.ndarray, label: int) -> Dict[str, object]:
+        """One 2T-step training presentation (Operation Flow 1 inner loop)."""
+        if self.model.label_name is None:
+            raise RuntimeError(
+                "this network was built without an error path "
+                "(include_error_path=False); it can only run inference")
+        if not self._class_mask[label]:
+            raise ValueError(f"label {label} is masked out")
+        rt = self.runtime
+        T = self.model.config.T
+        rt.reset_state(counts=True)
+        rt.reset_traces()
+        rt.reset_tags()
+        self._program_input(x)
+        self._program_label(label)
+        rt.disable(self._phase2_names)
+        rt.run(T)
+        h_out = rt.spike_counts(self.model.output_name).astype(float) / T
+        rt.learning_epoch("phase1_end")
+        rt.reset_traces()
+        # Phase-boundary membrane reset: phase-2 counts must not inherit the
+        # phase-1 residual potential (a systematic +0.5-spike bias).  The
+        # auxiliary gate compartments are deliberately *not* reset — their
+        # membrane is the memory of phase-1 forward activity.
+        rt.reset_membranes(self.model.forward_names)
+        rt.enable(self._phase2_names)
+        rt.run(T)
+        rt.learning_epoch("phase2_end")
+        rt.reset_tags()
+        rt.reset_traces()
+        rt.mark_sample()
+        self.samples_trained += 1
+        pred = int(np.argmax(h_out))
+        return {"h_out": h_out, "prediction": pred, "correct": pred == label}
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Phase-1-only inference; returns output rates."""
+        rt = self.runtime
+        T = self.model.config.T
+        rt.reset_state(counts=True)
+        self._program_input(x)
+        if self.model.label_name is not None:
+            rt.disable(self._phase2_names)
+        rt.run(T)
+        rt.mark_sample()
+        return rt.spike_counts(self.model.output_name).astype(float) / T
+
+    def predict(self, x: np.ndarray) -> int:
+        return int(np.argmax(self.infer(x)))
+
+    # -- loops -------------------------------------------------------------------------
+
+    def train_stream(self, samples, labels,
+                     progress: Optional[callable] = None) -> float:
+        """Online single-pass training; returns running accuracy."""
+        correct = 0
+        total = 0
+        for x, y in zip(samples, labels):
+            out = self.train_sample(x, int(y))
+            correct += int(out["correct"])
+            total += 1
+            if progress is not None:
+                progress(total, correct / max(total, 1))
+        return correct / max(total, 1)
+
+    def evaluate(self, samples, labels) -> float:
+        correct = 0
+        total = 0
+        for x, y in zip(samples, labels):
+            correct += int(self.predict(x) == int(y))
+            total += 1
+        return correct / max(total, 1)
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def energy_report(self, model: Optional[EnergyModel] = None,
+                      learning: bool = True) -> EnergyReport:
+        """Table II row for the run so far (requires a compiled mapping)."""
+        if self.mapping is None:
+            raise RuntimeError("compile() the network before asking for energy")
+        if model is None:
+            model = EnergyModel()
+        return model.report(
+            self.runtime.stats,
+            cores_used=self.mapping.cores_used,
+            max_compartments_per_core=self.mapping.max_compartments_sweep_cores,
+            compartments=self.model.network.n_compartments(),
+            learning=learning,
+        )

@@ -1,0 +1,110 @@
+"""Tests for the CPU/GPU cost models, backprop baseline and analysis kit."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (accuracy, as_series, ascii_plot,
+                            best_energy_point, confusion_matrix,
+                            format_series, format_table, per_class_accuracy,
+                            spike_sparsity, sweep_neurons_per_core)
+from repro.baselines import (BackpropMLP, DeviceSpec, I7_8700, RTX_5000,
+                             device_report, snn_macs_per_sample)
+from repro.core import loihi_default_config
+
+from conftest import make_blobs
+
+DIMS = (256, 1024, 128, 100, 10)
+
+
+class TestHardwareModel:
+    def test_training_costs_more_than_testing(self):
+        tr = snn_macs_per_sample(DIMS, 64, training=True)
+        te = snn_macs_per_sample(DIMS, 64, training=False)
+        assert tr > 2 * te
+
+    def test_fa_feedback_costs_more_than_dfa(self):
+        fa = snn_macs_per_sample(DIMS, 64, True, feedback="fa")
+        dfa = snn_macs_per_sample(DIMS, 64, True, feedback="dfa")
+        assert fa > dfa
+
+    def test_report_identity(self):
+        rep = device_report(I7_8700, DIMS, 64, training=True)
+        assert rep.energy_per_sample_mj == pytest.approx(
+            rep.power_w * rep.time_per_sample_ms)
+
+    def test_gpu_faster_than_cpu(self):
+        cpu = device_report(I7_8700, DIMS, 64, training=True)
+        gpu = device_report(RTX_5000, DIMS, 64, training=True)
+        assert gpu.fps > cpu.fps
+
+    def test_device_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("x", effective_macs_per_s=0, power_w=10)
+
+
+class TestBackpropMLP:
+    def test_learns_blobs(self):
+        xs, ys = make_blobs(8, 3, 300, seed=0)
+        tx, ty = make_blobs(8, 3, 100, seed=1)
+        mlp = BackpropMLP((8, 16, 3), seed=0)
+        mlp.train_stream(xs, ys)
+        assert mlp.evaluate(tx, ty) >= 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackpropMLP((4,))
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy([1, 2, 3], [1, 2, 0]) == pytest.approx(2 / 3)
+        with pytest.raises(ValueError):
+            accuracy([], [])
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 2])
+
+    def test_confusion_matrix(self):
+        cm = confusion_matrix([0, 1, 1], [0, 1, 0], n_classes=2)
+        assert cm.tolist() == [[1, 1], [0, 1]]
+        pca = per_class_accuracy(cm)
+        assert pca[0] == pytest.approx(0.5)
+        assert pca[1] == pytest.approx(1.0)
+
+    def test_spike_sparsity(self):
+        assert spike_sparsity(np.array([0, 0, 0.5, 1.0])) == 0.5
+        with pytest.raises(ValueError):
+            spike_sparsity(np.array([]))
+
+
+class TestReporting:
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2.34567], [10, 0.5]],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "2.346" in out
+
+    def test_format_series_orders_x_first(self):
+        out = format_series({"y": [1], "x": [2]}, x_key="x")
+        header = out.splitlines()[0].split()
+        assert header[0] == "x"
+
+    def test_ascii_plot(self):
+        out = ascii_plot([0, 1, 2], [0, 1, 4], width=20, height=5)
+        assert out.count("*") == 3
+        with pytest.raises(ValueError):
+            ascii_plot([], [])
+
+
+class TestTradeoffSweep:
+    def test_fig3_shapes(self):
+        cfg = loihi_default_config(seed=1)
+        pts = sweep_neurons_per_core((64, 40, 10), cfg,
+                                     packings=(5, 10, 20), n_samples=100)
+        times = [p.time_s for p in pts]
+        cores = [p.cores_used for p in pts]
+        assert times == sorted(times)
+        assert cores == sorted(cores, reverse=True)
+        series = as_series(pts)
+        assert series["neurons_per_core"] == [5, 10, 20]
+        assert best_energy_point(pts) in pts

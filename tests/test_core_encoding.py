@@ -1,0 +1,92 @@
+"""Unit tests for input/label encodings (Section III-D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (bias_encode, bias_io_events, encode_label,
+                        quantize_to_bins, rate_encode_spikes,
+                        spike_train_io_events)
+
+
+class TestQuantizeToBins:
+    def test_grid_values(self):
+        x = np.array([0.0, 0.24, 0.26, 1.0])
+        q = quantize_to_bins(x, 4)
+        assert q.tolist() == [0.0, 0.25, 0.25, 1.0]
+
+    def test_out_of_range_clipped(self):
+        q = quantize_to_bins(np.array([-0.5, 1.5]), 8)
+        assert q.tolist() == [0.0, 1.0]
+
+    def test_invalid_T(self):
+        with pytest.raises(ValueError):
+            quantize_to_bins(np.zeros(2), 0)
+
+    @given(x=st.floats(0, 1), T=st.integers(1, 256))
+    @settings(max_examples=80, deadline=None)
+    def test_quantization_error_bound(self, x, T):
+        q = quantize_to_bins(np.array([x]), T)[0]
+        assert abs(q - x) <= 0.5 / T + 1e-12
+
+
+class TestSpikeTrains:
+    def test_deterministic_train_sums_to_count(self):
+        x = np.array([0.0, 0.25, 0.5, 1.0])
+        train = rate_encode_spikes(x, 16)
+        assert train.shape == (16, 4)
+        assert train.sum(axis=0).tolist() == [0, 4, 8, 16]
+
+    def test_bernoulli_train_statistics(self):
+        rng = np.random.default_rng(0)
+        x = np.full(50, 0.5)
+        train = rate_encode_spikes(x, 200, rng=rng, deterministic=False)
+        assert abs(train.mean() - 0.5) < 0.05
+
+    @given(x=st.lists(st.floats(0, 1), min_size=1, max_size=16),
+           T=st.integers(1, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic_train_matches_quantized_rate(self, x, T):
+        x = np.array(x)
+        train = rate_encode_spikes(x, T)
+        expected = np.round(quantize_to_bins(x, T) * T)
+        assert np.array_equal(train.sum(axis=0), expected)
+
+
+class TestIOCost:
+    def test_bias_encoding_is_one_write_per_neuron(self):
+        x = np.linspace(0, 1, 100)
+        assert bias_io_events(x, 64) == 100
+
+    def test_spike_streaming_scales_with_rate(self):
+        dark = np.zeros(100)
+        bright = np.ones(100)
+        assert spike_train_io_events(dark, 64) == 0
+        assert spike_train_io_events(bright, 64) == 6400
+
+    def test_bias_beats_streaming_for_typical_images(self):
+        """The paper's motivation: dense-ish images make streaming costly."""
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0.2, 0.8, 256)
+        assert bias_io_events(x, 64) < spike_train_io_events(x, 64)
+
+
+class TestLabelEncoding:
+    def test_one_hot(self):
+        t = encode_label(2, 5)
+        assert t.tolist() == [0, 0, 1, 0, 0]
+
+    def test_custom_rate(self):
+        t = encode_label(0, 3, rate=0.5)
+        assert t.tolist() == [0.5, 0, 0]
+
+    def test_out_of_range_label(self):
+        with pytest.raises(ValueError):
+            encode_label(5, 5)
+        with pytest.raises(ValueError):
+            encode_label(-1, 5)
+
+    def test_bias_encode_matches_quantize(self):
+        x = np.array([0.1, 0.9])
+        assert np.array_equal(bias_encode(x, 32), quantize_to_bins(x, 32))

@@ -1,0 +1,97 @@
+"""Unit tests for the EMSTDP weight-update rule, both published forms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (WeightUpdater, delta_w_loihi_form, delta_w_reference)
+
+rates = st.lists(st.floats(0, 1), min_size=1, max_size=12)
+
+
+class TestUpdateForms:
+    @given(h_hat=rates, h=rates, pre=rates)
+    @settings(max_examples=60, deadline=None)
+    def test_eq7_equals_eq12_with_exact_pre(self, h_hat, h, pre):
+        """Eq. (12) with Z = h_hat + h reduces to Eq. (7) algebraically."""
+        n = min(len(h_hat), len(h))
+        h_hat, h = np.array(h_hat[:n]), np.array(h[:n])
+        pre = np.array(pre)
+        eta = 2.0 ** -3
+        ref = delta_w_reference(h_hat, h, pre, eta)
+        loihi = delta_w_loihi_form(h_hat, h_hat + h, pre, eta)
+        assert np.allclose(ref, loihi)
+
+    def test_sign_of_update(self):
+        """Post firing below target with active pre => weight grows."""
+        dw = delta_w_reference(np.array([0.8]), np.array([0.2]),
+                               np.array([0.5]), eta=0.1)
+        assert dw[0, 0] > 0
+        dw = delta_w_reference(np.array([0.2]), np.array([0.8]),
+                               np.array([0.5]), eta=0.1)
+        assert dw[0, 0] < 0
+
+    def test_silent_presynaptic_no_update(self):
+        """Locality: no presynaptic spikes => no weight change (STDP-like)."""
+        dw = delta_w_reference(np.array([1.0]), np.array([0.0]),
+                               np.array([0.0]), eta=0.1)
+        assert dw[0, 0] == 0.0
+
+    def test_shape(self):
+        dw = delta_w_reference(np.zeros(3), np.zeros(3), np.zeros(5), 0.1)
+        assert dw.shape == (5, 3)
+
+
+class TestWeightUpdater:
+    def test_full_precision_apply(self):
+        up = WeightUpdater(eta=0.5, rng=np.random.default_rng(0))
+        w = np.zeros((1, 1))
+        w2 = up.apply(w, np.array([1.0]), np.array([0.0]), np.array([1.0]))
+        assert w2[0, 0] == pytest.approx(0.5)
+
+    def test_quantized_apply_stays_on_grid(self):
+        up = WeightUpdater(eta=0.5, weight_bits=8, weight_clip=1.27,
+                           stochastic_rounding=False,
+                           rng=np.random.default_rng(0))
+        w = np.zeros((2, 2))
+        w2 = up.apply(w, np.array([0.9, 0.1]), np.array([0.1, 0.9]),
+                      np.array([1.0, 0.5]))
+        assert np.allclose(w2, np.round(w2 / 0.01) * 0.01)
+
+    def test_stochastic_rounding_progresses_in_expectation(self):
+        """Updates far below one grid step still move weights on average."""
+        rng = np.random.default_rng(42)
+        up = WeightUpdater(eta=0.01, weight_bits=8, weight_clip=1.27,
+                           stochastic_rounding=True, rng=rng)
+        w = np.zeros((1, 2000))
+        # each update is eta * 0.5 * 1.0 = 0.005 = half a grid step
+        w = up.apply(w, np.full(2000, 0.5), np.zeros(2000), np.array([1.0]))
+        assert abs(w.mean() - 0.005) < 0.001
+
+    def test_deterministic_rounding_stalls_below_half_step(self):
+        up = WeightUpdater(eta=0.001, weight_bits=8, weight_clip=1.27,
+                           stochastic_rounding=False,
+                           rng=np.random.default_rng(0))
+        w = np.zeros((1, 10))
+        w = up.apply(w, np.full(10, 0.5), np.zeros(10), np.array([1.0]))
+        assert (w == 0).all()
+
+    def test_loihi_form_apply(self):
+        up = WeightUpdater(eta=0.25, rng=np.random.default_rng(0))
+        w = np.zeros((1, 1))
+        # h_hat = 0.8, h = 0.2 -> Z = 1.0, pre = 1.0 -> dw = eta*(0.6)
+        w2 = up.apply_loihi_form(w, np.array([0.8]), np.array([1.0]),
+                                 np.array([1.0]))
+        assert w2[0, 0] == pytest.approx(0.15)
+
+    def test_invalid_eta(self):
+        with pytest.raises(ValueError):
+            WeightUpdater(eta=0.0)
+
+    def test_clip_enforced(self):
+        up = WeightUpdater(eta=10.0, weight_clip=1.0,
+                           rng=np.random.default_rng(0))
+        w = np.zeros((1, 1))
+        w2 = up.apply(w, np.array([1.0]), np.array([0.0]), np.array([1.0]))
+        assert w2[0, 0] == 1.0

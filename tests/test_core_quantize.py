@@ -1,0 +1,88 @@
+"""Unit tests for weight quantization (8-bit Loihi synapses)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (from_fixed_point, quant_step, quantization_snr_db,
+                        quantize_weights, to_fixed_point)
+
+
+class TestQuantStep:
+    def test_8bit_step(self):
+        assert quant_step(8, 1.27) == pytest.approx(0.01)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            quant_step(1, 1.0)
+        with pytest.raises(ValueError):
+            quant_step(8, 0.0)
+
+
+class TestQuantizeWeights:
+    def test_full_precision_passthrough(self):
+        w = np.array([0.123456, -0.9])
+        assert np.array_equal(quantize_weights(w, None, None), w)
+
+    def test_clip_only(self):
+        w = np.array([-5.0, 5.0])
+        assert quantize_weights(w, None, 2.0).tolist() == [-2.0, 2.0]
+
+    def test_deterministic_rounding(self):
+        q = quantize_weights(np.array([0.26]), 3, 3.0)  # grid step 1.0
+        assert q[0] == 0.0
+        q = quantize_weights(np.array([0.74]), 3, 3.0)
+        assert q[0] == 1.0
+
+    def test_stochastic_rounding_unbiased(self):
+        rng = np.random.default_rng(0)
+        w = np.full(20000, 0.3)
+        q = quantize_weights(w, 3, 3.0, rng=rng, stochastic=True)  # step 1.0
+        assert set(np.unique(q)) <= {0.0, 1.0}
+        assert abs(q.mean() - 0.3) < 0.02
+
+    def test_stochastic_requires_rng(self):
+        with pytest.raises(ValueError):
+            quantize_weights(np.zeros(1), 8, 1.0, stochastic=True)
+
+    def test_bits_require_clip(self):
+        with pytest.raises(ValueError):
+            quantize_weights(np.zeros(1), 8, None)
+
+    @given(bits=st.integers(2, 12), clip=st.floats(0.1, 10),
+           w=st.lists(st.floats(-20, 20), min_size=1, max_size=32))
+    @settings(max_examples=60, deadline=None)
+    def test_output_on_grid_within_range(self, bits, clip, w):
+        q = quantize_weights(np.array(w), bits, clip)
+        step = quant_step(bits, clip)
+        levels = np.round(q / step)
+        assert np.allclose(q, levels * step, atol=1e-9)
+        assert (np.abs(q) <= clip + 1e-9).all()
+
+    @given(bits=st.integers(2, 8), clip=st.floats(0.5, 4),
+           w=st.lists(st.floats(-1, 1), min_size=1, max_size=16))
+    @settings(max_examples=40, deadline=None)
+    def test_fixed_point_roundtrip(self, bits, clip, w):
+        w = np.array(w)
+        mant = to_fixed_point(w, bits, clip)
+        back = from_fixed_point(mant, bits, clip)
+        assert np.max(np.abs(back - np.clip(w, -clip, clip))) <= quant_step(
+            bits, clip) / 2 + 1e-9
+
+    def test_int8_mantissa_range(self):
+        mant = to_fixed_point(np.array([-100.0, 100.0]), 8, 1.0)
+        assert mant.min() >= -127 and mant.max() <= 127
+
+
+class TestSNR:
+    def test_more_bits_higher_snr(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(0, 0.3, 1000)
+        snrs = [quantization_snr_db(w, b, 1.0) for b in (4, 6, 8, 10)]
+        assert snrs == sorted(snrs)
+
+    def test_exactly_representable_is_infinite(self):
+        w = np.array([0.0, 1.0, -1.0])
+        assert quantization_snr_db(w, 8, 127.0 / 100) > 60  # near-exact grid
+        assert quantization_snr_db(np.zeros(4), 8, 1.0) == float("-inf")

@@ -1,0 +1,96 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (DATASETS, Dataset, load_dataset, render_chip,
+                        render_digit)
+from repro.data.fashion_like import render_garment
+from repro.data.cifar_like import render_object
+
+
+class TestDatasetContainer:
+    def test_flat_shapes(self):
+        train, _ = load_dataset("mnist_like", 20, 5, side=16)
+        assert train.flat().shape == (20, 256)
+        assert train.image_shape == (16, 16)
+
+    def test_stream_is_online(self):
+        train, _ = load_dataset("mnist_like", 5, 5, side=16)
+        items = list(train.stream())
+        assert len(items) == 5
+        assert isinstance(items[0][1], int)
+
+    def test_subset_filters_classes(self):
+        train, _ = load_dataset("mnist_like", 100, 5, side=16)
+        sub = train.subset([3, 7])
+        assert set(np.unique(sub.labels)) <= {3, 7}
+
+    def test_take(self):
+        train, _ = load_dataset("mnist_like", 50, 5, side=16)
+        assert len(train.take(7)) == 7
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 4, 4)), np.zeros(2))
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_range_and_determinism(self, name):
+        a, _ = load_dataset(name, 12, 4, side=16, seed=3)
+        b, _ = load_dataset(name, 12, 4, side=16, seed=3)
+        assert np.array_equal(a.images, b.images)
+        assert a.images.min() >= 0.0 and a.images.max() <= 1.0
+        assert set(np.unique(a.labels)) <= set(range(10))
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_train_test_disjoint_seeds(self, name):
+        train, test = load_dataset(name, 10, 10, side=16, seed=0)
+        assert not np.array_equal(train.images[:10], test.images[:10])
+
+    def test_cifar_is_colour(self):
+        train, _ = load_dataset("cifar_like", 4, 2, side=16)
+        assert train.image_shape == (16, 16, 3)
+
+    def test_class_restriction(self):
+        train, _ = load_dataset("mnist_like", 40, 5, side=16, classes=[1, 2])
+        assert set(np.unique(train.labels)) <= {1, 2}
+
+    def test_paper_names_resolve(self):
+        train, _ = load_dataset("MNIST", 4, 2, side=16)
+        assert train.name == "mnist_like"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("imagenet", 4, 2)
+
+    @given(digit=st.integers(0, 9))
+    @settings(max_examples=10, deadline=None)
+    def test_digit_renderer_draws_something(self, digit):
+        img = render_digit(digit, side=16, rng=np.random.default_rng(0))
+        assert img.sum() > 2.0
+        assert img.shape == (16, 16)
+
+    def test_invalid_labels(self):
+        for renderer in (render_digit, render_garment, render_chip,
+                         render_object):
+            with pytest.raises(ValueError):
+                renderer(10)
+
+    def test_classes_are_distinguishable(self):
+        """Mean images of different digits must differ clearly."""
+        rng = np.random.default_rng(0)
+        means = []
+        for d in (0, 1):
+            imgs = [render_digit(d, side=16, rng=rng) for _ in range(20)]
+            means.append(np.mean(imgs, axis=0))
+        assert np.abs(means[0] - means[1]).mean() > 0.05
+
+    def test_mstar_has_speckle(self):
+        """SAR chips should be noisy everywhere (multiplicative clutter)."""
+        img = render_chip(0, side=16, rng=np.random.default_rng(0))
+        assert (img > 0).mean() > 0.5
+        assert img.std() > 0.05

@@ -1,0 +1,145 @@
+"""Tests for core resource accounting, the mapper and the energy model."""
+
+import numpy as np
+import pytest
+
+from repro.loihi import (ChipSpec, CoreResourceError, CoreSpec, EnergyModel,
+                         LoihiChip, Mapper, NeuroCore, RunStats,
+                         optimal_neurons_per_core)
+
+
+class TestNeuroCore:
+    def test_allocation_tracks_resources(self):
+        core = NeuroCore(0, CoreSpec())
+        core.allocate("g", 0, 10, fanin=100, fanout=50)
+        assert core.n_compartments == 10
+        assert core.n_synapses == 1000
+
+    def test_compartment_budget(self):
+        core = NeuroCore(0, CoreSpec(max_compartments=8))
+        with pytest.raises(CoreResourceError):
+            core.allocate("g", 0, 9, fanin=1, fanout=1)
+
+    def test_synapse_budget(self):
+        core = NeuroCore(0, CoreSpec(max_synapses=100))
+        with pytest.raises(CoreResourceError):
+            core.allocate("g", 0, 2, fanin=51, fanout=1)
+
+    def test_utilization(self):
+        core = NeuroCore(0, CoreSpec(max_compartments=100,
+                                     max_synapses=1000))
+        core.allocate("g", 0, 50, fanin=10, fanout=1)
+        cpt, syn = core.utilization()
+        assert cpt == pytest.approx(0.5)
+        assert syn == pytest.approx(0.5)
+
+
+class TestMapper:
+    def _map(self, groups, neurons_per_core=None, chip=None):
+        chip = chip or LoihiChip()
+        return Mapper(neurons_per_core=neurons_per_core).map_groups(
+            chip, groups)
+
+    def test_layer_at_a_time_uses_fresh_cores(self):
+        m = self._map([("a", 10, 4, 4, None, None),
+                       ("b", 10, 4, 4, None, None)])
+        assert set(m.cores_of("a")).isdisjoint(m.cores_of("b"))
+
+    def test_sweep_packing_controls_cores(self):
+        m = self._map([("layer", 100, 10, 10, "sweep", None)],
+                      neurons_per_core=10)
+        assert len(m.cores_of("layer")) == 10
+        m2 = self._map([("layer", 100, 10, 10, "sweep", None)],
+                       neurons_per_core=25)
+        assert len(m2.cores_of("layer")) == 4
+
+    def test_auto_packing_limited_by_synapses(self):
+        chip = LoihiChip(ChipSpec(core=CoreSpec(max_synapses=1000)))
+        m = Mapper().map_groups(chip, [("g", 50, 100, 1, None, None)])
+        # 1000 synapses / fanin 100 = 10 neurons per core -> 5 cores
+        assert len(m.cores_of("g")) == 5
+
+    def test_colocation_shares_cores(self):
+        m = self._map([("soma", 40, 10, 10, "sweep", None),
+                       ("dend", 40, 10, 10, None, "soma")],
+                      neurons_per_core=10)
+        assert m.cores_of("dend") == m.cores_of("soma")
+        assert m.max_compartments_per_core == 20  # 10 soma + 10 dendrite
+
+    def test_colocation_requires_existing_host(self):
+        with pytest.raises(ValueError):
+            self._map([("dend", 10, 1, 1, None, "missing")])
+
+    def test_colocation_requires_matching_size(self):
+        with pytest.raises(ValueError):
+            self._map([("soma", 10, 1, 1, None, None),
+                       ("dend", 5, 1, 1, None, "soma")])
+
+    def test_sweep_aware_busiest_core(self):
+        m = self._map([("frontend", 500, 4, 4, None, None),
+                       ("dense", 40, 10, 10, "sweep", None)],
+                      neurons_per_core=10)
+        assert m.max_compartments_per_core == 500
+        assert m.max_compartments_sweep_cores == 10
+
+    def test_out_of_cores(self):
+        chip = LoihiChip(ChipSpec(n_cores=2))
+        with pytest.raises(CoreResourceError):
+            Mapper(neurons_per_core=5).map_groups(
+                chip, [("g", 100, 10, 10, "sweep", None)])
+
+    def test_too_wide_neuron_rejected(self):
+        chip = LoihiChip(ChipSpec(core=CoreSpec(max_synapses=10)))
+        with pytest.raises(CoreResourceError):
+            Mapper().map_groups(chip, [("g", 1, 100, 1, None, None)])
+
+    def test_summary(self):
+        m = self._map([("a", 10, 4, 4, None, None)])
+        s = m.summary()
+        assert s["cores_used"] == 1
+        assert s["per_group"]["a"]["n"] == 10
+
+
+class TestEnergyModel:
+    def test_step_time_scales_with_packing(self):
+        em = EnergyModel()
+        assert em.step_time_us(30) > em.step_time_us(10) > em.step_time_us(5)
+
+    def test_learning_overhead(self):
+        em = EnergyModel()
+        assert em.step_time_us(10, learning=True) > em.step_time_us(10)
+
+    def test_power_scales_with_cores(self):
+        em = EnergyModel()
+        assert em.active_power_w(40, 0, 0) > em.active_power_w(10, 0, 0)
+
+    def test_report_consistency(self):
+        """Energy/sample = power x time/sample (Table II's identity)."""
+        em = EnergyModel()
+        stats = RunStats(steps=128 * 100, samples=100, spikes=1000,
+                        syn_events=10_000, learning_epochs=200,
+                        plastic_synapses=1000)
+        rep = em.report(stats, cores_used=20, max_compartments_per_core=10,
+                        compartments=500, learning=True)
+        assert rep.energy_per_sample_mj == pytest.approx(
+            rep.power_w * rep.time_per_sample_ms, rel=0.05)
+        assert rep.fps == pytest.approx(1000.0 / rep.time_per_sample_ms)
+
+    def test_report_requires_samples(self):
+        em = EnergyModel()
+        with pytest.raises(ValueError):
+            em.report(RunStats(), 1, 1, 1, False)
+
+    def test_optimal_packing_helper(self):
+        best, cost = optimal_neurons_per_core(
+            [5, 10, 20], lambda p: (p - 10) ** 2)
+        assert best == 10 and cost == 0
+
+    def test_run_stats_merge(self):
+        a = RunStats(steps=10, samples=1, spikes=5, syn_events=7,
+                     learning_epochs=2, plastic_synapses=100)
+        b = RunStats(steps=20, samples=2, spikes=3, syn_events=3,
+                     learning_epochs=1, plastic_synapses=50)
+        a.merge(b)
+        assert a.steps == 30 and a.samples == 3
+        assert a.plastic_synapses == 100

@@ -1,0 +1,115 @@
+"""Tests for the topology parser, numpy CNN and conv->matrix conversion."""
+
+import numpy as np
+import pytest
+
+from repro.models import (ConvFrontend, ConvSpec, DenseSpec, feature_dims,
+                          im2col, paper_topology, parse_topology)
+from repro.models.convert import conv_layer_matrix, frontend_matrices
+
+
+class TestTopologyParser:
+    def test_paper_network(self):
+        spec = paper_topology(16, 1)
+        input_spec, layers = parse_topology(spec)
+        assert input_spec.shape == (16, 16, 1)
+        assert layers[0] == ConvSpec(kernel=5, channels=16, stride=2)
+        assert layers[1] == ConvSpec(kernel=3, channels=8, stride=2)
+        assert layers[2] == DenseSpec(units=100)
+        assert layers[3] == DenseSpec(units=10)
+
+    def test_feature_dims(self):
+        n, dense = feature_dims(paper_topology(16, 1))
+        assert n == 4 * 4 * 8 == 128
+        assert dense == [100, 10]
+
+    def test_conv_output_size(self):
+        spec = ConvSpec(kernel=5, channels=16, stride=2)
+        assert spec.output_hw(16, 16) == (8, 8)
+        assert spec.output_hw(28, 28) == (14, 14)
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            parse_topology("")
+        with pytest.raises(ValueError):
+            parse_topology("16x16-100d")
+        with pytest.raises(ValueError):
+            parse_topology("16x16x1-5x3k8c1s-10d")  # non-square kernel
+        with pytest.raises(ValueError):
+            parse_topology("16x16x1-100d-5x5k8c2s")  # conv after dense
+        with pytest.raises(ValueError):
+            parse_topology("16x16x1-5x5k8c2s")  # must end dense
+        with pytest.raises(ValueError):
+            parse_topology("16x16x1-banana-10d")
+
+
+class TestIm2col:
+    def test_shape(self):
+        x = np.zeros((2, 16, 16, 3))
+        cols, oh, ow = im2col(x, kernel=5, stride=2)
+        assert (oh, ow) == (8, 8)
+        assert cols.shape == (2, 8, 8, 75)
+
+    def test_identity_kernel_recovers_input(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(size=(1, 8, 8, 1))
+        cols, oh, ow = im2col(x, kernel=1, stride=1)
+        assert np.allclose(cols[0, :, :, 0], x[0, :, :, 0])
+
+
+class TestConvFrontend:
+    def test_pretraining_learns(self):
+        from repro.data import load_dataset
+        train, test = load_dataset("mnist_like", 300, 100, side=16)
+        fe = ConvFrontend(paper_topology(16, 1), seed=0)
+        result = fe.pretrain(train.images, train.labels, epochs=3)
+        assert result.train_accuracy > 0.6
+        assert fe.head_accuracy(test.images, test.labels) > 0.5
+
+    def test_features_normalized(self):
+        from repro.data import load_dataset
+        train, _ = load_dataset("mnist_like", 50, 5, side=16)
+        fe = ConvFrontend(paper_topology(16, 1), seed=0)
+        fe.pretrain(train.images, train.labels, epochs=1)
+        feats = fe.features(train.images)
+        assert feats.shape == (50, fe.n_features)
+        assert feats.min() >= 0.0 and feats.max() <= 1.0
+
+    def test_feature_count_matches_parser(self):
+        fe = ConvFrontend(paper_topology(16, 1), seed=0)
+        n, _ = feature_dims(paper_topology(16, 1))
+        assert fe.n_features == n
+
+    def test_input_shape_validation(self):
+        fe = ConvFrontend(paper_topology(16, 1), seed=0)
+        with pytest.raises(ValueError):
+            fe.features(np.zeros((2, 16)))
+
+
+class TestConvToMatrix:
+    def test_unrolled_matrix_matches_im2col_forward(self):
+        """The flat matrix must compute exactly what the conv layer does."""
+        rng = np.random.default_rng(0)
+        fe = ConvFrontend("8x8x1-3x3k4c2s-10d", seed=0)
+        layer = fe.conv_layers[0]
+        x = rng.uniform(size=(3, 8, 8, 1))
+        direct = layer.forward(x).reshape(3, -1)
+        mat, out_shape = conv_layer_matrix(layer.weight, 3, 2, (8, 8, 1))
+        flat = np.maximum(x.reshape(3, -1) @ mat + np.tile(
+            layer.bias, out_shape[0] * out_shape[1]), 0)
+        assert np.allclose(direct, flat, atol=1e-9)
+
+    def test_frontend_matrices_scale(self):
+        from repro.data import load_dataset
+        train, _ = load_dataset("mnist_like", 60, 5, side=16)
+        fe = ConvFrontend(paper_topology(16, 1), seed=0)
+        fe.pretrain(train.images, train.labels, epochs=1)
+        mats, biases = frontend_matrices(fe)
+        assert mats[0].shape == (256, 1024)
+        assert mats[1].shape == (1024, 128)
+        # chained flat maps approximate the normalized features
+        x = train.images[:4].reshape(4, -1)
+        a = np.maximum(x @ mats[0] + biases[0], 0)
+        b = np.maximum(a @ mats[1] + biases[1], 0)
+        feats = fe.features(train.images[:4])
+        assert np.allclose(np.clip(b, 0, 1), feats, atol=1e-6)

@@ -1,0 +1,116 @@
+"""Cross-module property-based tests: invariants that must hold for any
+input, not just the fixture tasks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (EMSTDPConfig, EMSTDPNetwork, encode_label,
+                        signed_error_rates)
+from repro.core.learning import delta_w_reference
+from repro.loihi import LearningEngine, parse_rule
+from repro.onchip import ScaleScheme
+
+unit_floats = st.lists(st.floats(0.0, 1.0), min_size=3, max_size=12)
+
+
+class TestRateInvariants:
+    @given(x=unit_floats, label=st.integers(0, 2), T=st.integers(4, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_all_phase_rates_bounded(self, x, label, T):
+        """Every layer's h and h_hat stay on [0, 1] for any input."""
+        cfg = EMSTDPConfig(seed=0, phase_length=T)
+        net = EMSTDPNetwork((len(x), 6, 3), cfg)
+        h, h_hat = net._rate_two_phase(np.array(x), label)
+        for rates in list(h) + list(h_hat):
+            assert (rates >= 0).all() and (rates <= 1).all()
+
+    @given(x=unit_floats, label=st.integers(0, 2))
+    @settings(max_examples=20, deadline=None)
+    def test_training_never_breaks_prediction_range(self, x, label):
+        cfg = EMSTDPConfig(seed=0, phase_length=16, weight_bits=8,
+                           weight_clip=2.0)
+        net = EMSTDPNetwork((len(x), 6, 3), cfg)
+        net.train_sample(np.array(x), label)
+        pred = net.predict(np.array(x))
+        assert 0 <= pred < 3
+        for w in net.weights:
+            assert np.abs(w).max() <= 2.0 + 1e-9
+
+    @given(target_label=st.integers(0, 3), predicted=unit_floats,
+           gain=st.floats(0.25, 4.0))
+    @settings(max_examples=40, deadline=None)
+    def test_error_channels_never_both_fire(self, target_label, predicted,
+                                            gain):
+        """A signed error excites exactly one channel per neuron."""
+        predicted = np.array(predicted[:4] + [0.0] * (4 - len(predicted[:4])))
+        target = encode_label(target_label, 4)
+        e_pos, e_neg = signed_error_rates(target, predicted, gain, T=32)
+        assert (np.minimum(e_pos, e_neg) == 0).all()
+        assert (e_pos >= 0).all() and (e_neg >= 0).all()
+
+
+class TestUpdateInvariants:
+    @given(h=unit_floats, pre=unit_floats)
+    @settings(max_examples=30, deadline=None)
+    def test_zero_error_zero_update(self, h, pre):
+        """h_hat == h must produce exactly no weight change (Eq. 7)."""
+        h = np.array(h)
+        dw = delta_w_reference(h, h, np.array(pre), eta=0.125)
+        assert (dw == 0).all()
+
+    @given(scale=st.integers(-10, 0), h=st.integers(0, 64),
+           pre=st.integers(0, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_microcode_dw_magnitude_bound(self, scale, h, pre):
+        """|dw| <= 2^scale * y1 * x1 for the single-term rule."""
+        from repro.loihi import ConnectionGroup, if_prototype
+        from repro.loihi.compartment import CompartmentGroup
+        src = CompartmentGroup(1, if_prototype(), name="s")
+        dst = CompartmentGroup(1, if_prototype(), name="d")
+        conn = ConnectionGroup(src, dst, np.zeros((1, 1)), 64, plastic=True)
+        conn.post_trace.values[:] = h
+        conn.pre_trace.values[:] = pre
+        eng = LearningEngine(stochastic_rounding=False)
+        eng.apply(parse_rule(f"dw = 2^{scale} * y1 * x1"), conn)
+        bound = (2.0 ** scale) * h * pre + 0.5
+        assert abs(int(conn.weight_mant[0, 0])) <= min(bound, 127)
+
+
+class TestScaleSchemeInvariants:
+    @given(clip=st.floats(0.5, 8.0),
+           w=st.lists(st.floats(-10, 10), min_size=1, max_size=16))
+    @settings(max_examples=40, deadline=None)
+    def test_mant_roundtrip_error_bounded(self, clip, w):
+        s = ScaleScheme(weight_clip=clip)
+        w = np.array(w)
+        back = s.from_mant(s.to_mant(w))
+        clipped = np.clip(w, -clip, clip)
+        assert np.max(np.abs(back - clipped)) <= s.step / 2 + 1e-9
+
+    @given(rate=st.floats(0, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_bias_rate_roundtrip(self, rate):
+        """rate -> bias -> realised IF rate agrees to 1/T resolution."""
+        s = ScaleScheme()
+        bias = int(s.rate_to_bias(np.array([rate]))[0])
+        T = 64
+        realised = (bias * T // s.vth) / T
+        assert abs(realised - rate) <= 1.0 / T + 1.0 / s.vth
+
+
+class TestDeterminism:
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_same_seed_same_run(self, seed):
+        cfg = EMSTDPConfig(seed=seed, phase_length=16)
+        xs = np.random.default_rng(0).uniform(0, 1, (10, 5))
+        ys = np.random.default_rng(1).integers(0, 3, 10)
+        nets = []
+        for _ in range(2):
+            net = EMSTDPNetwork((5, 8, 3), cfg)
+            net.train_stream(xs, ys)
+            nets.append(net)
+        for wa, wb in zip(nets[0].weights, nets[1].weights):
+            assert np.array_equal(wa, wb)
