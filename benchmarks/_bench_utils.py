@@ -1,0 +1,36 @@
+"""Importable helpers shared by the benchmark harness.
+
+Kept out of ``conftest.py`` on purpose: pytest imports every ``conftest.py``
+under a bare-basename module name, so any code that does
+``from conftest import ...`` silently binds to whichever conftest was loaded
+first.  With both ``tests/`` and ``benchmarks/`` collected in one run, the
+benchmark conftest used to shadow the test one and break collection
+(``ImportError: cannot import name 'make_blobs'``).  Benchmark code should
+import from this module; ``benchmarks/conftest.py`` only declares fixtures.
+"""
+
+from repro.data import load_dataset, make_blobs  # noqa: F401  (re-exported)
+from repro.models import ConvFrontend, paper_topology
+
+
+class FrontendCache:
+    """Pretrains each dataset's conv frontend once per session."""
+
+    def __init__(self):
+        self._cache = {}
+
+    def get(self, dataset: str, n_train: int = 400, n_test: int = 150,
+            side: int = 16, seed: int = 0):
+        key = (dataset, n_train, n_test, side, seed)
+        if key not in self._cache:
+            train, test = load_dataset(dataset, n_train, n_test, side=side,
+                                       seed=seed)
+            channels = train.image_shape[2] if len(train.image_shape) == 3 else 1
+            frontend = ConvFrontend(paper_topology(side, channels), seed=seed)
+            frontend.pretrain(train.images, train.labels, epochs=4)
+            self._cache[key] = (
+                frontend,
+                frontend.features(train.images), train.labels,
+                frontend.features(test.images), test.labels,
+            )
+        return self._cache[key]

@@ -1,0 +1,102 @@
+"""Batched engine throughput: samples/sec vs. the per-sample online loop.
+
+Not a paper figure — the engineering benchmark behind the batched
+vectorized engine (``EMSTDPNetwork.fit_batch`` / ``predict_batch``).  The
+sequential path pays Python-level dispatch for every sample's two-phase
+presentation; the batched path runs the same NumPy ops once per minibatch,
+so throughput should scale roughly with the batch size until the matmuls
+stop being overhead-dominated.
+
+Measured here, rate backend, dims (64, 128, 10):
+
+* training:  ``train_sample`` loop vs ``fit_batch(update_mode="minibatch")``
+  at batch size 32 — the acceptance gate is >= 5x samples/sec;
+* inference: ``predict`` loop vs ``predict_batch`` at batch size 256.
+
+``bench_batched_smoke`` is the <60s CI variant: smaller sample budget, same
+assertions.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import EMSTDPConfig, EMSTDPNetwork
+
+from _bench_utils import make_blobs
+
+DIMS = (64, 128, 10)
+BATCH = 32
+
+
+def _samples_per_sec(fn, n_samples: int) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return n_samples / (time.perf_counter() - t0)
+
+
+def _train_throughput(n_samples: int, batch: int = BATCH):
+    xs, ys = make_blobs(DIMS[0], DIMS[-1], n_samples, seed=0)
+
+    seq = EMSTDPNetwork(DIMS, EMSTDPConfig(seed=1))
+    def run_seq():
+        for x, y in zip(xs, ys):
+            seq.train_sample(x, int(y))
+    seq_sps = _samples_per_sec(run_seq, n_samples)
+
+    bat = EMSTDPNetwork(DIMS, EMSTDPConfig(seed=1))
+    def run_bat():
+        for lo in range(0, n_samples, batch):
+            bat.fit_batch(xs[lo:lo + batch], ys[lo:lo + batch],
+                          update_mode="minibatch")
+    bat_sps = _samples_per_sec(run_bat, n_samples)
+    return seq_sps, bat_sps
+
+
+def _infer_throughput(n_samples: int, batch: int = 256):
+    xs, _ = make_blobs(DIMS[0], DIMS[-1], n_samples, seed=0)
+    net = EMSTDPNetwork(DIMS, EMSTDPConfig(seed=1))
+
+    def run_seq():
+        for x in xs:
+            net.predict(x)
+    seq_sps = _samples_per_sec(run_seq, n_samples)
+
+    def run_bat():
+        for lo in range(0, n_samples, batch):
+            net.predict_batch(xs[lo:lo + batch])
+    bat_sps = _samples_per_sec(run_bat, n_samples)
+    return seq_sps, bat_sps
+
+
+def _report(kind, seq_sps, bat_sps, batch):
+    speedup = bat_sps / seq_sps
+    print(f"{kind:9s}  sequential {seq_sps:8.0f} sps   "
+          f"batched({batch:3d}) {bat_sps:8.0f} sps   speedup {speedup:5.1f}x")
+    return speedup
+
+
+def _run(n_train: int, n_infer: int):
+    print()
+    print(f"batched-engine throughput — rate backend, dims {DIMS}")
+    train_speedup = _report("training", *_train_throughput(n_train), BATCH)
+    infer_speedup = _report("inference", *_infer_throughput(n_infer), 256)
+    return train_speedup, infer_speedup
+
+
+def bench_batched_smoke(benchmark):
+    """CI gate: the acceptance assertions on a small sample budget."""
+    train_speedup, infer_speedup = benchmark.pedantic(
+        lambda: _run(n_train=512, n_infer=2048), rounds=1, iterations=1)
+    assert train_speedup >= 5.0, \
+        f"batched training speedup {train_speedup:.1f}x < 5x at batch {BATCH}"
+    assert infer_speedup >= 5.0, \
+        f"batched inference speedup {infer_speedup:.1f}x < 5x"
+
+
+def bench_batched_throughput(benchmark):
+    """Full measurement (longer run, tighter timing noise)."""
+    train_speedup, infer_speedup = benchmark.pedantic(
+        lambda: _run(n_train=2048, n_infer=8192), rounds=1, iterations=1)
+    assert train_speedup >= 5.0
+    assert infer_speedup >= 5.0

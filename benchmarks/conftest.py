@@ -1,44 +1,27 @@
-"""Shared setup for the benchmark harness.
+"""Fixtures for the benchmark harness.
 
 Each ``bench_*`` file regenerates one table or figure of the paper (see
 DESIGN.md's experiment index) and prints the measured rows next to the
-paper's published values.  Run with::
+paper's published values.  Run from the repo root with::
 
-    pytest benchmarks/ --benchmark-only -s
+    python -m pytest benchmarks/ -s
+
+(``benchmarks/pytest.ini`` wires up collection and ``pythonpath``; no
+environment variables needed.)
 
 Sizes are scaled down from the paper's full runs (hundreds instead of tens
 of thousands of samples) so the whole harness finishes in minutes; the
 *shape* criteria recorded in EXPERIMENTS.md are unaffected by the scale.
+
+Only fixtures live here — importable helpers are in ``_bench_utils.py`` so
+that this conftest never shadows ``tests/conftest.py`` (both are imported
+under the bare module name ``conftest``).
 """
 
 import numpy as np
 import pytest
 
-from repro.data import load_dataset
-from repro.models import ConvFrontend, paper_topology
-
-
-class FrontendCache:
-    """Pretrains each dataset's conv frontend once per session."""
-
-    def __init__(self):
-        self._cache = {}
-
-    def get(self, dataset: str, n_train: int = 400, n_test: int = 150,
-            side: int = 16, seed: int = 0):
-        key = (dataset, n_train, n_test, side, seed)
-        if key not in self._cache:
-            train, test = load_dataset(dataset, n_train, n_test, side=side,
-                                       seed=seed)
-            channels = train.image_shape[2] if len(train.image_shape) == 3 else 1
-            frontend = ConvFrontend(paper_topology(side, channels), seed=seed)
-            frontend.pretrain(train.images, train.labels, epochs=4)
-            self._cache[key] = (
-                frontend,
-                frontend.features(train.images), train.labels,
-                frontend.features(test.images), test.labels,
-            )
-        return self._cache[key]
+from _bench_utils import FrontendCache
 
 
 @pytest.fixture(scope="session")

@@ -12,9 +12,19 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.encoding import as_sample_batch
+
 
 class BackpropMLP:
-    """Minimal MLP (ReLU hidden, softmax output), online SGD, batch 1."""
+    """Minimal MLP (ReLU hidden, softmax output), online SGD.
+
+    Mirrors the EMSTDP network's two-level API: ``train_sample`` /
+    ``predict`` / ``evaluate`` run the paper's batch-1 online regime, while
+    ``train_batch`` / ``predict_batch`` / ``evaluate_batch`` are fully
+    vectorized (one GEMM per layer for the whole minibatch, gradients
+    averaged) so the baseline's throughput is comparable with the batched
+    EMSTDP engine rather than being bottlenecked by Python loops.
+    """
 
     def __init__(self, dims: Sequence[int], lr: float = 0.05, seed: int = 0):
         dims = tuple(int(d) for d in dims)
@@ -45,10 +55,15 @@ class BackpropMLP:
         grad = p.copy()
         grad[label] -= 1.0
         for i in range(len(self.weights) - 1, -1, -1):
+            # Propagate through the *pre-update* weights: updating first and
+            # then backpropagating through the new weights computes a
+            # gradient of nothing in particular (and made the sequential and
+            # batched paths disagree even at B = 1).
+            prev_grad = (grad @ self.weights[i].T) * (acts[i] > 0) \
+                if i > 0 else None
             self.weights[i] -= self.lr * np.outer(acts[i], grad)
             self.biases[i] -= self.lr * grad
-            if i > 0:
-                grad = (grad @ self.weights[i].T) * (acts[i] > 0)
+            grad = prev_grad
         return int(np.argmax(logits)) == label
 
     def train_stream(self, xs, ys) -> float:
@@ -57,4 +72,46 @@ class BackpropMLP:
 
     def evaluate(self, xs, ys) -> float:
         correct = sum(self.predict(x) == int(y) for x, y in zip(xs, ys))
+        return correct / max(len(xs), 1)
+
+    # -- batched path ------------------------------------------------------
+
+    def _forward_batch(self, X: np.ndarray):
+        acts = [as_sample_batch(X, self.dims[0])]
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = acts[-1] @ w + b
+            acts.append(np.maximum(z, 0) if i < len(self.weights) - 1 else z)
+        return acts
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        return np.argmax(self._forward_batch(X)[-1], axis=-1).astype(np.int64)
+
+    def train_batch(self, X: np.ndarray, ys) -> float:
+        """One minibatch SGD step (mean gradient); returns batch accuracy."""
+        ys = np.asarray(ys, dtype=np.int64).reshape(-1)
+        acts = self._forward_batch(X)
+        logits = acts[-1]
+        if len(logits) != len(ys):
+            raise ValueError("samples and labels must have equal length")
+        p = np.exp(logits - logits.max(axis=1, keepdims=True))
+        p /= p.sum(axis=1, keepdims=True)
+        grad = p.copy()
+        grad[np.arange(len(ys)), ys] -= 1.0
+        grad /= max(len(ys), 1)
+        for i in range(len(self.weights) - 1, -1, -1):
+            gw = acts[i].T @ grad
+            gb = grad.sum(axis=0)
+            if i > 0:
+                grad = (grad @ self.weights[i].T) * (acts[i] > 0)
+            self.weights[i] -= self.lr * gw
+            self.biases[i] -= self.lr * gb
+        return float(np.mean(np.argmax(logits, axis=1) == ys)) if len(ys) else 0.0
+
+    def evaluate_batch(self, xs, ys, batch_size: int = 1024) -> float:
+        xs = as_sample_batch(xs, self.dims[0])
+        ys = np.asarray(ys, dtype=np.int64).reshape(-1)
+        correct = 0
+        for lo in range(0, len(xs), batch_size):
+            preds = self.predict_batch(xs[lo:lo + batch_size])
+            correct += int(np.sum(preds == ys[lo:lo + batch_size]))
         return correct / max(len(xs), 1)

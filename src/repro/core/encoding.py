@@ -14,6 +14,25 @@ from __future__ import annotations
 import numpy as np
 
 
+def as_sample_batch(X, n_features: int) -> np.ndarray:
+    """Coerce input to a ``(B, n_features)`` float block.
+
+    A single 1-D sample becomes ``B = 1``; any empty input (e.g. ``[]``)
+    becomes ``B = 0`` rather than a bogus ``(1, 0)`` block.  The one
+    input-coercion rule for every batch API in the repo (the reference
+    network, the on-chip trainer, the backprop baseline).
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        if X.size == 0:
+            return X.reshape(0, n_features)
+        X = X[None, :]
+    if X.ndim != 2 or X.shape[1] != n_features:
+        raise ValueError(
+            f"expected samples of shape (B, {n_features}), got {X.shape}")
+    return X
+
+
 def quantize_to_bins(x: np.ndarray, T: int) -> np.ndarray:
     """Quantize real inputs in [0, 1] to the ``T``-level grid of one phase.
 
@@ -92,3 +111,22 @@ def encode_label(label: int, n_classes: int, rate: float = 1.0) -> np.ndarray:
     target = np.zeros(n_classes)
     target[label] = rate
     return target
+
+
+def encode_labels(labels: np.ndarray, n_classes: int,
+                  rate: float = 1.0) -> np.ndarray:
+    """Batched :func:`encode_label`: ``(B,)`` labels -> ``(B, n_classes)``.
+
+    Row ``b`` equals ``encode_label(labels[b], n_classes, rate)``; the whole
+    one-hot target block is built in one indexed write so the batched
+    engine pays no per-sample Python cost.
+    """
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    if labels.size and (labels.min() < 0 or labels.max() >= n_classes):
+        bad = labels[(labels < 0) | (labels >= n_classes)][0]
+        raise ValueError(f"label {bad} out of range for {n_classes} classes")
+    if not 0.0 < rate <= 1.0:
+        raise ValueError("target rate must be in (0, 1]")
+    targets = np.zeros((labels.size, n_classes))
+    targets[np.arange(labels.size), labels] = rate
+    return targets

@@ -36,6 +36,35 @@ def delta_w_reference(h_hat_post: np.ndarray, h_post: np.ndarray,
     return eta * np.outer(np.asarray(h_pre, dtype=float), diff)
 
 
+def delta_w_reference_batch(h_hat_post: np.ndarray, h_post: np.ndarray,
+                            h_pre: np.ndarray, eta: float,
+                            reduction: str = "mean") -> np.ndarray:
+    """Batched Eq. (7): one GEMM instead of ``B`` outer products.
+
+    ``h_hat_post`` and ``h_post`` are ``(B, n_post)``, ``h_pre`` is
+    ``(B, n_pre)``.  The per-sample deltas ``eta * (h_hat_b - h_b) (x)
+    pre_b`` are reduced over the batch — ``"mean"`` (minibatch SGD
+    semantics) or ``"sum"`` (equivalent to applying every per-sample delta
+    against the same frozen weights).  Returns ``(n_pre, n_post)``.
+    """
+    if reduction not in ("mean", "sum"):
+        raise ValueError(f"reduction must be 'mean' or 'sum', got {reduction!r}")
+    diff = np.asarray(h_hat_post, dtype=float) - np.asarray(h_post, dtype=float)
+    pre = np.asarray(h_pre, dtype=float)
+    if diff.ndim != 2 or pre.ndim != 2 or diff.shape[0] != pre.shape[0]:
+        raise ValueError(
+            f"expected (B, n_post) and (B, n_pre) stacks, got {diff.shape} "
+            f"and {pre.shape}")
+    if diff.shape[0] == 0:
+        # The mean of zero per-sample deltas is undefined (0/0 would NaN
+        # the weights); callers must skip the update for an empty batch.
+        raise ValueError("cannot reduce an empty batch")
+    dw = eta * (pre.T @ diff)
+    if reduction == "mean":
+        dw = dw / diff.shape[0]
+    return dw
+
+
 def delta_w_loihi_form(h_hat_post: np.ndarray, z_post: np.ndarray,
                        pre_trace: np.ndarray, eta: float) -> np.ndarray:
     """Eq. (12): ``dW = 2*eta * h_hat (x) pre - eta * Z (x) pre``.
@@ -73,6 +102,20 @@ class WeightUpdater:
               h_pre: np.ndarray) -> np.ndarray:
         """Return updated (and re-quantized) weights per Eq. (7)."""
         dw = delta_w_reference(h_hat_post, h_post, h_pre, self.eta)
+        return self.project(w + dw)
+
+    def apply_batch(self, w: np.ndarray, h_hat_post: np.ndarray,
+                    h_post: np.ndarray, h_pre: np.ndarray,
+                    reduction: str = "mean") -> np.ndarray:
+        """One projected update from a whole minibatch of rate stacks.
+
+        Unlike looping :meth:`apply` over the batch, the quantization
+        projection runs once on the summed/averaged delta — this is the
+        ``update_mode="minibatch"`` semantics of the batched engine, where
+        a single hardware write-back applies the reduced update.
+        """
+        dw = delta_w_reference_batch(h_hat_post, h_post, h_pre, self.eta,
+                                     reduction=reduction)
         return self.project(w + dw)
 
     def apply_loihi_form(self, w: np.ndarray, h_hat_post: np.ndarray,

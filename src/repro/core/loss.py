@@ -42,6 +42,15 @@ def predict_class(rates: np.ndarray) -> int:
     return int(np.argmax(np.asarray(rates)))
 
 
+def predict_classes(rates: np.ndarray) -> np.ndarray:
+    """Batched winner-take-all readout over ``(B, n_classes)`` rates.
+
+    ``np.argmax`` breaks rate ties toward the lower class index, exactly as
+    :func:`predict_class` does per sample, so the two readouts always agree.
+    """
+    return np.argmax(np.asarray(rates), axis=-1).astype(np.int64)
+
+
 def margin(rates: np.ndarray, label: int) -> float:
     """Rate margin of the true class over the best rival (diagnostics)."""
     r = np.asarray(rates, dtype=float)

@@ -16,7 +16,28 @@ hardware resource constraints.  Two dynamics backends are provided:
     corrections — the ground truth the rate backend is validated against
     (see ``tests/test_network_equivalence.py``).
 
-The network always trains with batch size 1 (online learning, Section IV-A).
+The paper trains strictly online (batch size 1, Section IV-A) and
+:meth:`EMSTDPNetwork.train_sample` / :meth:`EMSTDPNetwork.train_stream`
+reproduce exactly that.  On top of it sits a *batched engine* —
+:meth:`EMSTDPNetwork.fit_batch`, :meth:`EMSTDPNetwork.predict_batch` and
+:meth:`EMSTDPNetwork.evaluate_batch` — that runs a whole minibatch through
+one set of NumPy array ops for both backends.  ``fit_batch`` offers two
+update modes:
+
+``update_mode="online"``
+    Bit-identical to the sequential per-sample loop: each sample's two-phase
+    presentation sees the weights already updated by every earlier sample.
+    The weight-update chain is a true data dependency, so this mode
+    vectorizes *within* a sample (across neurons and timesteps) but walks
+    the batch in order — it is the validated ground truth.
+
+``update_mode="minibatch"``
+    Fully vectorized across the batch: one batched two-phase pass with
+    frozen weights, per-sample Eq. (7) deltas reduced to their mean
+    (classic minibatch SGD) and applied in a single projected write-back.
+    This breaks the online dependency chain — a deliberate, documented
+    approximation — and is the fast path measured in
+    ``benchmarks/bench_batched_throughput.py``.
 """
 
 from __future__ import annotations
@@ -26,10 +47,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .config import EMSTDPConfig, validate_dims
-from .encoding import bias_encode, encode_label, quantize_to_bins
+from .encoding import (as_sample_batch, bias_encode, encode_label,
+                       encode_labels, quantize_to_bins)
 from .feedback import make_dfa_weights, make_fa_weights
 from .learning import WeightUpdater
-from .loss import predict_class, signed_error_rates
+from .loss import predict_class, predict_classes, signed_error_rates
 from .neuron import IFLayer, SignedErrorLayer, quantize_rate, rate_activation
 
 
@@ -288,6 +310,277 @@ class EMSTDPNetwork:
             spikes[0] = layers[0].step(in_bias).astype(float)
             for i, w in enumerate(self.weights):
                 drive = self._augment(spikes[i]) @ w
+                if corrections[i] is not None:
+                    drive = drive + corrections[i]
+                spikes[i + 1] = layers[i + 1].step(drive).astype(float)
+            spikes[-1] = spikes[-1] * self.class_mask
+
+            tgt_spikes = label_layer.step(target).astype(float)
+            out_gate = gates[-1] if cfg.gate_output else None
+            pending_out = out_err.step(
+                cfg.error_gain * (tgt_spikes - spikes[-1]), gate=out_gate)
+            pending_out = pending_out * self.class_mask
+
+            if cfg.feedback == "fa":
+                e_above = pending_out
+                for i in range(self.n_layers - 2, -1, -1):
+                    drive = cfg.hidden_error_gain * (
+                        e_above @ self.feedback_weights[i])
+                    gate = gates[i + 1] if cfg.gate_hidden else None
+                    pending_hidden[i] = hidden_err[i].step(drive, gate=gate)
+                    e_above = pending_hidden[i]
+            else:
+                for i in range(self.n_layers - 1):
+                    drive = cfg.hidden_error_gain * (
+                        pending_out @ self.feedback_weights[i])
+                    gate = gates[i + 1] if cfg.gate_hidden else None
+                    pending_hidden[i] = hidden_err[i].step(drive, gate=gate)
+
+        h_hat = [layer.spike_count / T for layer in layers]
+        h_hat[-1] = h_hat[-1] * self.class_mask
+        return h, h_hat
+
+    # ------------------------------------------------------------------
+    # Batched engine
+    # ------------------------------------------------------------------
+
+    def _as_batch(self, X) -> np.ndarray:
+        """Coerce input to a ``(B, n_in)`` float block (1-D becomes B=1)."""
+        return as_sample_batch(X, self.dims[0])
+
+    def _augment_batch(self, rates: np.ndarray) -> np.ndarray:
+        """Batched :meth:`_augment`: append an always-on bias column."""
+        if not self._bias:
+            return rates
+        return np.concatenate([rates, np.ones((rates.shape[0], 1))], axis=1)
+
+    def forward_rates_batch(self, X: np.ndarray,
+                            corrections: Optional[List[np.ndarray]] = None,
+                            current_corrections: Optional[List[np.ndarray]] = None,
+                            ) -> List[np.ndarray]:
+        """Batched :meth:`forward_rates`: ``(B, n_in)`` in, ``(B, n_i)`` out.
+
+        Row ``b`` of every returned layer equals ``forward_rates(X[b])`` —
+        the dynamics are elementwise on the ``1/T`` grid, so stacking
+        samples on a leading axis changes nothing but the matmul shape.
+        ``corrections`` / ``current_corrections`` carry the same leading
+        batch dimension when given.
+        """
+        T = self.config.T
+        rates = [quantize_to_bins(self._as_batch(X), T)]
+        for i, w in enumerate(self.weights):
+            drive = self._augment_batch(rates[i]) @ w
+            if current_corrections is not None and current_corrections[i] is not None:
+                drive = drive + current_corrections[i]
+            r = rate_activation(drive, T)
+            if corrections is not None and corrections[i] is not None:
+                r = quantize_rate(np.clip(r + corrections[i], 0.0, 1.0), T)
+            if i == self.n_layers - 1:
+                r = r * self.class_mask
+            rates.append(r)
+        return rates
+
+    def output_rates_batch(self, X: np.ndarray) -> np.ndarray:
+        """Batched phase-1 inference: ``(B, n_out)`` output rates."""
+        X = self._as_batch(X)
+        if self.config.dynamics == "spike":
+            h, _ = self._spike_phase1_batch(X)
+            return h[-1]
+        return self.forward_rates_batch(X)[-1]
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Class decisions for a whole batch; equals ``[predict(x) for x in X]``."""
+        return predict_classes(self.output_rates_batch(X))
+
+    def evaluate_batch(self, samples, labels, batch_size: int = 256) -> float:
+        """Phase-1 accuracy via the vectorized path, chunked to bound memory."""
+        X = self._as_batch(samples)
+        y = np.asarray(labels, dtype=np.int64).reshape(-1)
+        if len(X) != len(y):
+            raise ValueError("samples and labels must have equal length")
+        correct = 0
+        for lo in range(0, len(X), batch_size):
+            preds = self.predict_batch(X[lo:lo + batch_size])
+            correct += int(np.sum(preds == y[lo:lo + batch_size]))
+        return correct / max(len(X), 1)
+
+    def fit_batch(self, X: np.ndarray, labels, update_mode: str = "online",
+                  lr_scale: float = 1.0) -> Dict[str, object]:
+        """Train on a minibatch; returns per-sample predictions and accuracy.
+
+        Parameters
+        ----------
+        X, labels:
+            ``(B, n_in)`` samples and ``(B,)`` integer labels.
+        update_mode:
+            ``"online"`` applies each sample's update in order, with every
+            presentation seeing the freshest weights — bit-identical to
+            ``for x, y in zip(X, labels): train_sample(x, y)`` (the update
+            chain is a data dependency, so the batch is walked
+            sequentially).  ``"minibatch"`` runs one vectorized two-phase
+            pass with frozen weights and applies the *mean* of the
+            per-sample Eq. (7) deltas in a single projected write-back —
+            the fast path (see the module docstring for the trade-off).
+        lr_scale:
+            Temporary learning-rate multiplier, as in :meth:`train_sample`.
+
+        Returns
+        -------
+        dict with ``"predictions"`` (``(B,)`` int array, phase-1 decisions),
+        ``"correct"`` (``(B,)`` bool array) and ``"accuracy"`` (float).
+        """
+        X = self._as_batch(X)
+        y = np.asarray(labels, dtype=np.int64).reshape(-1)
+        if len(X) != len(y):
+            raise ValueError("samples and labels must have equal length")
+        if update_mode not in ("online", "minibatch"):
+            raise ValueError(
+                f"update_mode must be 'online' or 'minibatch', got {update_mode!r}")
+        if len(X) == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return {"predictions": empty, "correct": empty.astype(bool),
+                    "accuracy": 0.0}
+        if update_mode == "online":
+            preds = np.empty(len(X), dtype=np.int64)
+            for b in range(len(X)):
+                preds[b] = self.train_sample(X[b], int(y[b]),
+                                             lr_scale=lr_scale)["prediction"]
+        elif update_mode == "minibatch":
+            if self.config.dynamics == "spike":
+                h, h_hat = self._spike_two_phase_batch(X, y)
+            else:
+                h, h_hat = self._rate_two_phase_batch(X, y)
+            self._apply_updates_batch(h, h_hat, lr_scale)
+            self.samples_seen += len(X)
+            preds = predict_classes(h[-1])
+        correct = preds == y
+        return {
+            "predictions": preds,
+            "correct": correct,
+            "accuracy": float(np.mean(correct)) if len(X) else 0.0,
+        }
+
+    def _apply_updates_batch(self, h: List[np.ndarray], h_hat: List[np.ndarray],
+                             lr_scale: float) -> None:
+        """Minibatch write-back: mean of per-sample deltas, one projection."""
+        eta0 = self.updater.eta
+        self.updater.eta = eta0 * lr_scale
+        try:
+            for i in range(self.n_layers):
+                pre = self._augment_batch(h[i])
+                self.weights[i] = self.updater.apply_batch(
+                    self.weights[i], h_hat[i + 1], h[i + 1], pre,
+                    reduction="mean")
+        finally:
+            self.updater.eta = eta0
+
+    def _rate_two_phase_batch(self, X: np.ndarray, labels: np.ndarray
+                              ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """Batched :meth:`_rate_two_phase` with frozen weights.
+
+        A line-for-line port: every quantity gains a leading batch axis and
+        the damped phase-2 fixed point settles all samples simultaneously.
+        """
+        cfg = self.config
+        T = cfg.T
+        B = X.shape[0]
+        h = self.forward_rates_batch(X)
+        target = encode_labels(labels, self.n_classes) * self.class_mask
+
+        gates = [hi > 0 for hi in h]
+
+        h_hat = [hi.copy() for hi in h]
+        damping = 0.5
+        e_out = np.zeros((B, self.n_classes))
+        corrections: List[Optional[np.ndarray]] = [None] * self.n_layers
+        current: List[Optional[np.ndarray]] = [None] * self.n_layers
+        for _ in range(cfg.phase2_iterations):
+            e_pos, e_neg = signed_error_rates(target, h_hat[-1], cfg.error_gain, T)
+            if cfg.gate_output:
+                e_pos = e_pos * gates[-1]
+                e_neg = e_neg * gates[-1]
+            e_new = (e_pos - e_neg) * self.class_mask
+            e_out = e_out + damping * (e_new - e_out)
+            corrections[-1] = e_out
+            if cfg.feedback == "fa":
+                e_above = e_out
+                for i in range(self.n_layers - 2, -1, -1):
+                    eps = cfg.hidden_error_gain * (
+                        e_above @ self.feedback_weights[i])
+                    ep = quantize_rate(np.clip(eps, 0.0, 1.0), T)
+                    en = quantize_rate(np.clip(-eps, 0.0, 1.0), T)
+                    if cfg.gate_hidden:
+                        ep = ep * gates[i + 1]
+                        en = en * gates[i + 1]
+                    prev = corrections[i] if corrections[i] is not None else 0.0
+                    corrections[i] = prev + damping * ((ep - en) - prev)
+                    e_above = corrections[i]
+            else:
+                for i in range(self.n_layers - 1):
+                    eps = cfg.hidden_error_gain * (
+                        e_out @ self.feedback_weights[i])
+                    ep = quantize_rate(np.clip(eps, 0.0, 1.0), T)
+                    en = quantize_rate(np.clip(-eps, 0.0, 1.0), T)
+                    if cfg.gate_hidden:
+                        ep = ep * gates[i + 1]
+                        en = en * gates[i + 1]
+                    prev = corrections[i] if corrections[i] is not None else 0.0
+                    corrections[i] = prev + damping * ((ep - en) - prev)
+            h_hat = self.forward_rates_batch(X, corrections=corrections,
+                                             current_corrections=current)
+        return h, h_hat
+
+    def _make_layers_batch(self, B: int) -> List[IFLayer]:
+        return [IFLayer(n, batch_size=B) for n in self.dims]
+
+    def _spike_phase1_batch(self, X: np.ndarray
+                            ) -> Tuple[List[np.ndarray], List[IFLayer]]:
+        """Batched :meth:`_spike_phase1`: all samples step in lockstep."""
+        T = self.config.T
+        B = X.shape[0]
+        layers = self._make_layers_batch(B)
+        in_bias = bias_encode(X, T)
+        spikes = [np.zeros((B, n)) for n in self.dims]
+        for _ in range(T):
+            spikes[0] = layers[0].step(in_bias).astype(float)
+            for i, w in enumerate(self.weights):
+                drive = self._augment_batch(spikes[i]) @ w
+                spikes[i + 1] = layers[i + 1].step(drive).astype(float)
+        h = [layer.spike_count / T for layer in layers]
+        h[-1] = h[-1] * self.class_mask
+        return h, layers
+
+    def _spike_two_phase_batch(self, X: np.ndarray, labels: np.ndarray
+                               ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """Batched :meth:`_spike_two_phase` with frozen weights."""
+        cfg = self.config
+        T = cfg.T
+        B = X.shape[0]
+        h, layers = self._spike_phase1_batch(X)
+        gates = [layer.spike_count > 0 for layer in layers]
+
+        for layer in layers:
+            layer.reset_counts()
+        in_bias = bias_encode(X, T)
+        target = encode_labels(labels, self.n_classes) * self.class_mask
+        label_layer = IFLayer(self.n_classes, batch_size=B)
+        out_err = SignedErrorLayer(self.n_classes, batch_size=B)
+        hidden_err = [SignedErrorLayer(n, batch_size=B)
+                      for n in self.dims[1:-1]]
+
+        spikes = [np.zeros((B, n)) for n in self.dims]
+        pending_out = np.zeros((B, self.n_classes))
+        pending_hidden = [np.zeros((B, n)) for n in self.dims[1:-1]]
+
+        for _ in range(T):
+            corrections: List[Optional[np.ndarray]] = [None] * self.n_layers
+            corrections[-1] = pending_out * self.class_mask
+            for i in range(self.n_layers - 1):
+                corrections[i] = pending_hidden[i]
+
+            spikes[0] = layers[0].step(in_bias).astype(float)
+            for i, w in enumerate(self.weights):
+                drive = self._augment_batch(spikes[i]) @ w
                 if corrections[i] is not None:
                     drive = drive + corrections[i]
                 spikes[i + 1] = layers[i + 1].step(drive).astype(float)

@@ -33,23 +33,34 @@ class IFLayer:
         ``False`` the potential is reset to zero, losing the residual charge.
     refractory:
         Number of steps a neuron stays silent after a spike (0 = none).
+    batch_size:
+        ``None`` (default) keeps the classic single-sample layout with state
+        of shape ``(n,)``.  An integer ``B`` gives every neuron ``B``
+        independent copies of its state, shaped ``(B, n)``; :meth:`step`
+        then takes and returns ``(B, n)`` arrays.  Each batch row evolves
+        exactly as an unbatched layer fed that row would.
     """
 
     def __init__(self, n: int, threshold: float = 1.0, soft_reset: bool = True,
-                 refractory: int = 0):
+                 refractory: int = 0, batch_size: int = None):
         if n < 1:
             raise ValueError("layer must contain at least one neuron")
         if threshold <= 0:
             raise ValueError("threshold must be positive")
         if refractory < 0:
             raise ValueError("refractory must be >= 0")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1 (or None for unbatched)")
         self.n = int(n)
         self.threshold = float(threshold)
         self.soft_reset = bool(soft_reset)
         self.refractory = int(refractory)
-        self.v = np.zeros(self.n)
-        self.spike_count = np.zeros(self.n, dtype=np.int64)
-        self._refrac_left = np.zeros(self.n, dtype=np.int64)
+        self.batch_size = None if batch_size is None else int(batch_size)
+        shape = (self.n,) if self.batch_size is None else (self.batch_size, self.n)
+        self._state_shape = shape
+        self.v = np.zeros(shape)
+        self.spike_count = np.zeros(shape, dtype=np.int64)
+        self._refrac_left = np.zeros(shape, dtype=np.int64)
 
     def reset(self) -> None:
         """Clear all state (membrane potential, counters, refractory)."""
@@ -67,8 +78,9 @@ class IFLayer:
         Returns the boolean spike vector for this step.
         """
         drive = np.asarray(drive, dtype=float)
-        if drive.shape != (self.n,):
-            raise ValueError(f"drive must have shape ({self.n},), got {drive.shape}")
+        if drive.shape != self._state_shape:
+            raise ValueError(
+                f"drive must have shape {self._state_shape}, got {drive.shape}")
         active = self._refrac_left == 0
         self.v = np.where(active, self.v + drive, self.v)
         # The epsilon keeps grid-exact drives (e.g. 0.3 over 100 steps) from
@@ -100,12 +112,18 @@ class SignedErrorLayer:
     The channels can be gated by the forward-path activity (the
     multi-compartment AND gate): a gated channel integrates normally but
     produces no output spikes while the gate is closed.
+
+    Like :class:`IFLayer`, the pair can carry a leading batch dimension:
+    with ``batch_size=B`` both channels hold ``(B, n)`` state and
+    :meth:`step` maps ``(B, n)`` signed drives (and gates) to ``(B, n)``
+    signed spikes.
     """
 
-    def __init__(self, n: int, threshold: float = 1.0):
+    def __init__(self, n: int, threshold: float = 1.0, batch_size: int = None):
         self.n = int(n)
-        self.pos = IFLayer(n, threshold=threshold)
-        self.neg = IFLayer(n, threshold=threshold)
+        self.batch_size = None if batch_size is None else int(batch_size)
+        self.pos = IFLayer(n, threshold=threshold, batch_size=batch_size)
+        self.neg = IFLayer(n, threshold=threshold, batch_size=batch_size)
 
     def reset(self) -> None:
         self.pos.reset()
@@ -127,7 +145,7 @@ class SignedErrorLayer:
             # must not include swallowed spikes either.
             self.pos.spike_count -= sp
             self.neg.spike_count -= sn
-            return np.zeros(self.n)
+            return np.zeros(self.pos._state_shape)
         if gate is not None:
             gate = np.asarray(gate, dtype=bool)
             self.pos.spike_count -= sp & ~gate

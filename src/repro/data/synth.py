@@ -20,6 +20,24 @@ from typing import Iterator, Tuple
 import numpy as np
 
 
+def make_blobs(n_features: int, n_classes: int, n_samples: int, seed: int,
+               noise: float = 0.08, task_seed: int = 77):
+    """Clipped Gaussian blobs in ``[0, 1]^d`` with one mean per class.
+
+    ``task_seed`` fixes the class means so different ``seed`` values draw
+    train/test splits from the *same* underlying task.  The single shared
+    generator behind the unit-test fixtures and the throughput benchmarks —
+    one definition of "the blob task", not one copy per harness.
+    """
+    means = np.random.default_rng(task_seed).uniform(
+        0.2, 0.8, size=(n_classes, n_features))
+    rng = np.random.default_rng(seed)
+    ys = rng.integers(0, n_classes, n_samples)
+    xs = np.clip(means[ys] + rng.normal(0, noise, (n_samples, n_features)),
+                 0, 1)
+    return xs, ys
+
+
 @dataclasses.dataclass
 class Dataset:
     """An in-memory image classification dataset."""

@@ -82,7 +82,10 @@ class IncrementalOnlineLearner:
     The model object must expose ``train_stream(xs, ys, lr_scale=...)``,
     ``evaluate(xs, ys)`` and ``set_class_mask(classes)`` — satisfied by
     :class:`repro.core.EMSTDPNetwork` (and adaptable to the on-chip
-    trainer).
+    trainer).  Training always runs online (the protocol's semantics depend
+    on per-sample updates), but the frequent accuracy probes after each
+    step are inference-only and embarrassingly parallel: when the model
+    also exposes ``evaluate_batch`` the batched vectorized path is used.
     """
 
     def __init__(self, model: EMSTDPNetwork, train_data: Dataset,
@@ -107,7 +110,8 @@ class IncrementalOnlineLearner:
 
     def _eval_observed(self, observed: Sequence[int]) -> float:
         xs, ys = self._features_of(self.test_data, observed)
-        return self.model.evaluate(xs, ys)
+        evaluate = getattr(self.model, "evaluate_batch", self.model.evaluate)
+        return evaluate(xs, ys)
 
     # -- protocol ----------------------------------------------------------
 

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.encoding import quantize_to_bins
+from ..core.encoding import as_sample_batch, quantize_to_bins
 from ..loihi.chip import LoihiChip
 from ..loihi.energy import EnergyModel, EnergyReport
 from ..loihi.mapping import Mapping
@@ -170,6 +170,71 @@ class LoihiEMSTDPTrainer:
 
     def predict(self, x: np.ndarray) -> int:
         return int(np.argmax(self.infer(x)))
+
+    # -- batch API ---------------------------------------------------------------------
+    #
+    # The simulated chip holds exactly one copy of the network and
+    # time-multiplexes samples over it (Operation Flow 1), so there is no
+    # across-sample vectorization to exploit here: the batch methods below
+    # walk the batch in order.  They exist so call sites written against the
+    # batched :class:`repro.core.EMSTDPNetwork` API (``fit_batch`` /
+    # ``predict_batch`` / ``evaluate_batch``) can drive the on-chip trainer
+    # unchanged, with identical online semantics.
+
+    def _as_batch(self, X) -> np.ndarray:
+        """Coerce input to a ``(B, n_in)`` float block (1-D becomes B=1)."""
+        return as_sample_batch(X, self.model.dims[0])
+
+    def fit_batch(self, X, labels,
+                  update_mode: str = "online") -> Dict[str, object]:
+        """Drop-in for :meth:`EMSTDPNetwork.fit_batch` on the chip.
+
+        Only ``update_mode="online"`` exists here: the chip applies its
+        microcode update at the end of every 2T-step presentation, so there
+        is no frozen-weight minibatch pass to offer.  Asking for
+        ``"minibatch"`` raises rather than silently changing semantics.
+        """
+        if update_mode != "online":
+            raise ValueError(
+                "the on-chip trainer only supports update_mode='online' "
+                f"(per-presentation microcode updates), got {update_mode!r}")
+        return self.train_batch(X, labels)
+
+    def train_batch(self, X, labels) -> Dict[str, object]:
+        """Online-mode batch training; same contract as ``fit_batch``.
+
+        Each sample's 2T-step presentation sees the weights updated by every
+        earlier sample — bit-identical to looping :meth:`train_sample`.
+        """
+        X = self._as_batch(X)
+        y = np.asarray(labels, dtype=np.int64).reshape(-1)
+        if len(X) != len(y):
+            raise ValueError("samples and labels must have equal length")
+        preds = np.empty(len(X), dtype=np.int64)
+        for b in range(len(X)):
+            preds[b] = self.train_sample(X[b], int(y[b]))["prediction"]
+        correct = preds == y
+        return {
+            "predictions": preds,
+            "correct": correct,
+            "accuracy": float(np.mean(correct)) if len(X) else 0.0,
+        }
+
+    def infer_batch(self, X) -> np.ndarray:
+        """Phase-1-only inference for a batch; returns ``(B, n_out)`` rates."""
+        X = self._as_batch(X)
+        return np.stack([self.infer(x) for x in X]) if len(X) else \
+            np.zeros((0, self.model.dims[-1]))
+
+    def predict_batch(self, X) -> np.ndarray:
+        """Class decisions for a batch of samples."""
+        rates = self.infer_batch(X)
+        return np.argmax(rates, axis=-1).astype(np.int64)
+
+    def evaluate_batch(self, samples, labels, batch_size: int = 256) -> float:
+        """Batch-API alias of :meth:`evaluate` (the chip is sequential)."""
+        del batch_size  # accepted for signature parity with EMSTDPNetwork
+        return self.evaluate(samples, labels)
 
     # -- loops -------------------------------------------------------------------------
 

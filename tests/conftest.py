@@ -1,26 +1,15 @@
 """Shared fixtures: a deterministic toy classification task.
 
 Every test that needs a learnable dataset uses these Gaussian-blob tasks so
-unit tests stay fast while still exercising real learning dynamics.
+unit tests stay fast while still exercising real learning dynamics.  The
+generator itself lives in :mod:`repro.data.synth`; the re-export keeps the
+many ``from conftest import make_blobs`` call sites working.
 """
 
 import numpy as np
 import pytest
 
-
-def make_blobs(n_features: int, n_classes: int, n_samples: int, seed: int,
-               noise: float = 0.08, task_seed: int = 77):
-    """Clipped Gaussian blobs in [0, 1]^d with one mean per class.
-
-    ``task_seed`` fixes the class means so different ``seed`` values draw
-    train/test splits from the *same* underlying task.
-    """
-    means = np.random.default_rng(task_seed).uniform(
-        0.2, 0.8, size=(n_classes, n_features))
-    rng = np.random.default_rng(seed)
-    ys = rng.integers(0, n_classes, n_samples)
-    xs = np.clip(means[ys] + rng.normal(0, noise, (n_samples, n_features)), 0, 1)
-    return xs, ys
+from repro.data import make_blobs  # noqa: F401  (re-exported for tests)
 
 
 @pytest.fixture
