@@ -1,47 +1,43 @@
 """Incremental online learning (Fig. 4): add new classes after deployment.
 
-Starts from a model trained on 4 classes, then introduces 2 new classes at
-a time over three incremental iterations, using the paper's alternating
-two-step schedule (learn-new with old classifier neurons disabled, then
-retrain on a balanced old/new mix).  Prints the Fig. 4 curves.
+A thin wrapper over the ``incremental_iol`` experiment spec: pretrain on 4
+classes, then introduce 2 new classes at a time over three incremental
+iterations with the paper's alternating two-step schedule.  Prints the
+Fig. 4 curves from the run record's stored series.
 
-Run:  python examples/incremental_learning.py
+Run:  PYTHONPATH=src python examples/incremental_learning.py [--tiny]
 """
 
+import sys
+
 from repro.analysis import ascii_plot
-from repro.core import EMSTDPNetwork, full_precision_config
-from repro.data import load_dataset
-from repro.data.synth import Dataset
-from repro.incremental import (IOLConfig, IncrementalOnlineLearner,
-                               forgetting_dip, recovery)
-from repro.models import ConvFrontend, paper_topology
+from repro.experiments import Runner, get_scenario
 
 
-def main():
-    train, test = load_dataset("mnist_like", n_train=900, n_test=300, side=16)
-    frontend = ConvFrontend(paper_topology(16, 1), seed=0)
-    frontend.pretrain(train.images, train.labels, epochs=3)
-    ftrain = Dataset(frontend.features(train.images), train.labels)
-    ftest = Dataset(frontend.features(test.images), test.labels)
-
-    net = EMSTDPNetwork((frontend.n_features, 100, 10),
-                        full_precision_config(seed=3))
-    learner = IncrementalOnlineLearner(net, ftrain, ftest,
-                                       IOLConfig(seed=5))
-    print("running 3 incremental iterations x 5 rounds "
+def main(tiny: bool = False):
+    scenario = get_scenario("incremental_iol")
+    spec = scenario.build_spec(tiny=tiny).replace(seeds=(5,))
+    print("running the incremental-learning protocol "
           "(2 new classes per iteration)...")
-    result = learner.run()
-    curves = result.curves()
-    print("round  step1  step2")
+    result = Runner(max_workers=1).run(spec, progress=print)
+    print()
+    print(result.summary())
+
+    record = result.first_ok()
+    curves = record["series"]
+    print("\nround  step1  step2")
     for r, a1, a2 in zip(curves["rounds"], curves["after_step1"],
                          curves["after_step2"]):
-        mark = "  <- 2 new classes" if r in curves["introduction_rounds"] else ""
-        print(f"{r:5d}  {a1:.3f}  {a2:.3f}{mark}")
+        mark = ("  <- new classes"
+                if r in curves["introduction_rounds"] else "")
+        print(f"{int(r):5d}  {a1:.3f}  {a2:.3f}{mark}")
     print(ascii_plot(curves["rounds"], curves["after_step2"],
                      label="accuracy on observed classes (after step 2)"))
-    print(f"mean forgetting dip at introductions: {forgetting_dip(result):.3f}")
-    print(f"mean within-iteration recovery:       {recovery(result):.3f}")
+    m = record["metrics"]
+    print(f"mean forgetting dip at introductions: {m['forgetting_dip']:.3f}")
+    print(f"mean within-iteration recovery:       {m['recovery']:.3f}")
+    print(f"run directory: {result.run_dir}")
 
 
 if __name__ == "__main__":
-    main()
+    main(tiny="--tiny" in sys.argv)

@@ -1,35 +1,38 @@
 """Fig. 3 in miniature: the neurons-per-core energy trade-off.
 
-Sweeps the packing of the trainable layers, prints time / power / cores /
-energy per sample for FA and DFA, and picks the energy-optimal packing the
-way the paper picked 10 neurons/core for Table II.
+A thin wrapper over the ``energy_tradeoff`` experiment spec: sweeps the
+packing of the trainable layers through the chip energy model, prints
+time / power / cores / energy per sample for FA and DFA from the stored
+series, and picks the energy-optimal packing the way the paper picked
+10 neurons/core for Table II.
 
-Run:  python examples/mapping_tradeoff.py
+Run:  PYTHONPATH=src python examples/mapping_tradeoff.py [--tiny]
 """
 
-from repro.analysis import (as_series, ascii_plot, best_energy_point,
-                            format_series, sweep_neurons_per_core)
-from repro.core import loihi_default_config
+import sys
+
+from repro.analysis import ascii_plot, format_series
+from repro.experiments import Runner, get_scenario
 
 
-def main():
-    dims = (128, 100, 10)
-    for feedback in ("fa", "dfa"):
-        cfg = loihi_default_config(seed=1, feedback=feedback)
-        points = sweep_neurons_per_core(dims, cfg,
-                                        packings=(5, 10, 15, 20, 25, 30),
-                                        n_samples=10_000)
-        series = as_series(points)
+def main(tiny: bool = False):
+    scenario = get_scenario("energy_tradeoff")
+    spec = scenario.build_spec(tiny=tiny).replace(seeds=(1,))
+    result = Runner(max_workers=1).run(spec, progress=print)
+    record = result.first_ok()
+    for feedback in spec.backends:
+        series = record["series"][feedback]
         print(format_series(series, title=f"=== {feedback.upper()} ===",
                             x_key="neurons_per_core"))
         print(ascii_plot(series["neurons_per_core"],
                          series["energy_per_sample_mj"],
                          label="energy per sample (mJ)"))
-        best = best_energy_point(points)
-        print(f"-> energy-optimal packing: {best.neurons_per_core} "
-              f"neurons/core, {best.cores_used} cores, "
-              f"{best.energy_per_sample_mj:.2f} mJ/sample\n")
+        best = record["metrics"][feedback]
+        print(f"-> energy-optimal packing: {best['best_packing']} "
+              f"neurons/core, {best['cores_used']} cores, "
+              f"{best['energy_per_sample_mj']:.2f} mJ/sample\n")
+    print(f"run directory: {result.run_dir}")
 
 
 if __name__ == "__main__":
-    main()
+    main(tiny="--tiny" in sys.argv)

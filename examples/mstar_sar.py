@@ -1,54 +1,51 @@
 """Domain example: SAR target recognition (the paper's MSTAR workload).
 
 MSTAR is the paper's edge-relevant workload: classify vehicles in radar
-chips on a low-power device in the field.  This example renders synthetic
-SAR chips (speckle, bright returns, shadows), pretrains the conv frontend
-offline, and trains the dense classifier on the simulated chip — then
-compares FA and DFA feedback on the same task.
+chips on a low-power device in the field.  A thin wrapper over the
+``offline_accuracy`` spec pointed at the synthetic SAR dataset: the conv
+frontend is pretrained offline and the dense classifier is trained on the
+simulated chip with FA and DFA feedback on the same task.
 
-Run:  python examples/mstar_sar.py
+Run:  PYTHONPATH=src python examples/mstar_sar.py [--tiny]
 """
 
-import numpy as np
+import sys
 
-from repro.core import loihi_default_config
 from repro.data import load_dataset
-from repro.models import ConvFrontend, paper_topology
-from repro.onchip import LoihiEMSTDPTrainer, build_emstdp_network
+from repro.experiments import Runner, get_scenario
 
 
-def ascii_chip(img, width=32):
+def ascii_chip(img):
     """Terminal rendering of one SAR chip."""
     shades = " .:-=+*#%@"
-    lines = []
-    for row in img:
-        lines.append("".join(shades[min(int(v * len(shades)), len(shades) - 1)]
-                             for v in row))
-    return "\n".join(lines)
+    return "\n".join(
+        "".join(shades[min(int(v * len(shades)), len(shades) - 1)]
+                for v in row)
+        for row in img)
 
 
-def main():
-    train, test = load_dataset("mstar_like", n_train=600, n_test=150, side=16)
-    print("one synthetic SAR target chip (class "
-          f"{int(train.labels[0])}):")
-    print(ascii_chip(train.images[0]))
+def main(tiny: bool = False):
+    scenario = get_scenario("offline_accuracy")
+    spec = scenario.build_spec(tiny=tiny)
+    spec = spec.replace(
+        dataset="mstar_like", n_test=min(spec.n_test, 150),
+        backends=("chip:fa", "chip:dfa"), epochs=2, seeds=(1,),
+        params={**spec.params, "use_frontend": True, "frontend_epochs": 4},
+    )
 
-    frontend = ConvFrontend(paper_topology(16, 1), seed=0)
-    frontend.pretrain(train.images, train.labels, epochs=4)
-    ftr = frontend.features(train.images)
-    fte = frontend.features(test.images)
+    preview, _ = load_dataset(spec.dataset, n_train=1, n_test=1,
+                              side=spec.side)
+    print(f"one synthetic SAR target chip (class {int(preview.labels[0])}):")
+    print(ascii_chip(preview.images[0]))
 
-    for feedback in ("fa", "dfa"):
-        cfg = loihi_default_config(seed=1, feedback=feedback,
-                                   learning_rate=2.0**-5, error_gain=2.0)
-        model = build_emstdp_network((frontend.n_features, 100, 10), cfg)
-        trainer = LoihiEMSTDPTrainer(model, neurons_per_core=10)
-        for _ in range(2):
-            trainer.train_stream(ftr[:300], train.labels[:300])
-        acc = trainer.evaluate(fte[:100], test.labels[:100])
-        print(f"{feedback.upper():3s}: test accuracy {acc:.3f}, "
-              f"{trainer.mapping.cores_used} cores")
+    result = Runner(max_workers=1).run(spec, progress=print)
+    print()
+    print(result.summary())
+    for backend, entry in result.first_ok()["metrics"].items():
+        print(f"{backend}: test accuracy {entry['test_acc']:.3f}, "
+              f"{entry['cores_used']} cores")
+    print(f"run directory: {result.run_dir}")
 
 
 if __name__ == "__main__":
-    main()
+    main(tiny="--tiny" in sys.argv)

@@ -1,61 +1,41 @@
 """Section IV-A setup: pretrained conv frontend + on-chip dense training.
 
-Reproduces the paper's transfer-learning arrangement on the MNIST-like
-dataset: the two convolutional layers are pretrained offline with backprop,
-converted to fixed spiking connectivity on the chip, and the two dense
-layers (100d-10d) are trained from scratch *in hardware* with EMSTDP,
-online, batch size 1.
+A thin wrapper over the ``offline_accuracy`` spec with the paper's
+transfer-learning arrangement switched on (``use_frontend`` +
+``onchip_frontend``): the convolutional layers are pretrained offline with
+backprop, unrolled into fixed spiking connectivity on the chip, and the
+dense layers are trained from scratch *in hardware* with EMSTDP, online,
+batch size 1.
 
-Run:  python examples/online_learning_mnist.py
+Run:  PYTHONPATH=src python examples/online_learning_mnist.py [--tiny]
 """
 
-import numpy as np
+import sys
 
-from repro.core import loihi_default_config
-from repro.data import load_dataset
-from repro.models import ConvFrontend, paper_topology
-from repro.models.convert import frontend_matrices
-from repro.onchip import LoihiEMSTDPTrainer, build_emstdp_network
+from repro.experiments import Runner, get_scenario
 
 
-def main():
-    train, test = load_dataset("mnist_like", n_train=600, n_test=150, side=16)
-
-    print("pretraining conv frontend offline (numpy CNN, SGD+momentum)...")
-    frontend = ConvFrontend(paper_topology(side=16, channels=1), seed=0)
-    result = frontend.pretrain(train.images, train.labels, epochs=4)
-    print(f"offline head train accuracy: {result.train_accuracy:.3f}")
-
-    print("unrolling conv layers into fixed on-chip connectivity...")
-    mats, biases = frontend_matrices(frontend)
-    for i, m in enumerate(mats):
-        print(f"  conv{i}: {m.shape[0]} -> {m.shape[1]} "
-              f"({np.count_nonzero(m)} synapses)")
-
-    cfg = loihi_default_config(seed=1, feedback="dfa",
-                               learning_rate=2.0**-5, error_gain=2.0)
-    model = build_emstdp_network(
-        (frontend.n_features, 100, 10), cfg,
-        frontend_layers=list(zip(mats, biases)))
-    trainer = LoihiEMSTDPTrainer(model, neurons_per_core=10)
-    print(f"deployed on {trainer.mapping.cores_used} cores")
-
-    print("training dense layers on-chip (online, batch 1)...")
-    n = 200  # keep the demo quick; more samples -> higher accuracy
-    correct = 0
-    for i, (x, y) in enumerate(zip(train.flat()[:n], train.labels[:n])):
-        out = trainer.train_sample(x, int(y))
-        correct += int(out["correct"])
-        if (i + 1) % 50 == 0:
-            print(f"  sample {i + 1}: running accuracy {correct / (i + 1):.3f}")
-
-    acc = trainer.evaluate(test.flat()[:100], test.labels[:100])
-    print(f"test accuracy after {n} online samples: {acc:.3f}")
-    report = trainer.energy_report()
-    print(f"modeled hardware: {report.fps:.0f} FPS, {report.power_w:.3f} W, "
-          f"{report.energy_per_sample_mj:.2f} mJ/img "
+def main(tiny: bool = False):
+    scenario = get_scenario("offline_accuracy")
+    spec = scenario.build_spec(tiny=tiny)
+    spec = spec.replace(
+        backends=("chip",), seeds=(1,),
+        params={**spec.params, "use_frontend": True, "onchip_frontend": True,
+                "frontend_epochs": 4, "chip_train_limit": 200,
+                "chip_test_limit": 100},
+    )
+    print("pretraining conv frontend offline, then training the dense "
+          "layers on-chip (online, batch 1)...")
+    result = Runner(max_workers=1).run(spec, progress=print)
+    print()
+    print(result.summary())
+    chip = result.first_ok()["metrics"]["chip"]
+    print(f"\nmodeled hardware: {chip['cores_used']} cores, "
+          f"{chip['fps']:.0f} FPS, {chip['power_w']:.3f} W, "
+          f"{chip['energy_per_sample_mj']:.2f} mJ/img "
           f"(paper: 50 FPS, 0.42 W, 8.4 mJ/img while training)")
+    print(f"run directory: {result.run_dir}")
 
 
 if __name__ == "__main__":
-    main()
+    main(tiny="--tiny" in sys.argv)

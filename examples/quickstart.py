@@ -1,45 +1,39 @@
 """Quickstart: train a multilayer SNN online with EMSTDP, two ways.
 
-1. the full-precision reference implementation (``repro.core``), and
-2. the same network built on the Loihi-like chip simulator under hardware
-   constraints (8-bit weights, microcode learning rule, two-phase schedule).
+A thin wrapper over the ``offline_accuracy`` experiment spec comparing
 
-Run:  python examples/quickstart.py
+1. the full-precision reference implementation (backend ``rate``), and
+2. the same network built on the Loihi-like chip simulator under hardware
+   constraints (backend ``chip``: 8-bit weights, microcode learning rule,
+   two-phase schedule).
+
+The run (records, checkpoints, manifest) lands in ``runs/`` and can be
+re-rendered later with ``python -m repro show <run_id>``.
+
+Run:  PYTHONPATH=src python examples/quickstart.py [--tiny]
 """
 
-import numpy as np
+import sys
 
-from repro.core import EMSTDPNetwork, full_precision_config, loihi_default_config
-from repro.data import load_dataset
-from repro.onchip import LoihiEMSTDPTrainer, build_emstdp_network
+from repro.experiments import Runner, get_scenario
 
 
-def main():
-    # A small MNIST-like task, flattened to 256 inputs (no conv frontend).
-    train, test = load_dataset("mnist_like", n_train=600, n_test=200, side=16)
-    dims = (256, 100, 10)
-
-    print("== full-precision reference (Python FP) ==")
-    net = EMSTDPNetwork(dims, full_precision_config(seed=1))
-    running = net.train_stream(train.flat(), train.labels)
-    print(f"running train accuracy: {running:.3f}")
-    print(f"test accuracy:          {net.evaluate(test.flat(), test.labels):.3f}")
-
+def main(tiny: bool = False):
+    scenario = get_scenario("offline_accuracy")
+    spec = scenario.build_spec(tiny=tiny).replace(
+        backends=("rate", "chip"), seeds=(1,))
+    print(f"running {spec.name} (dataset={spec.dataset}, "
+          f"n_train={spec.n_train}, backends={spec.backends})...")
+    result = Runner(max_workers=1).run(spec, progress=print)
     print()
-    print("== on-chip (simulated Loihi, 8-bit weights, DFA) ==")
-    model = build_emstdp_network(dims, loihi_default_config(seed=1, learning_rate=2.0**-5, error_gain=2.0))
-    trainer = LoihiEMSTDPTrainer(model, neurons_per_core=10)
-    print(f"mapped onto {trainer.mapping.cores_used} cores "
-          f"({model.network.n_compartments()} compartments, "
-          f"{model.network.n_synapses()} synapses)")
-    running = trainer.train_stream(train.flat()[:300], train.labels[:300])
-    print(f"running train accuracy: {running:.3f}")
-    print(f"test accuracy:          "
-          f"{trainer.evaluate(test.flat()[:100], test.labels[:100]):.3f}")
-    report = trainer.energy_report()
-    print(f"modeled: {report.fps:.0f} FPS, {report.power_w:.3f} W, "
-          f"{report.energy_per_sample_mj:.2f} mJ/sample")
+    print(result.summary())
+    chip = result.first_ok()["metrics"]["chip"]
+    print(f"\nmodeled chip: {chip['cores_used']} cores, "
+          f"{chip['fps']:.0f} FPS, {chip['power_w']:.3f} W, "
+          f"{chip['energy_per_sample_mj']:.2f} mJ/sample "
+          f"(paper: 50 FPS, 0.42 W, 8.4 mJ/img while training)")
+    print(f"run directory: {result.run_dir}")
 
 
 if __name__ == "__main__":
-    main()
+    main(tiny="--tiny" in sys.argv)

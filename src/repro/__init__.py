@@ -22,11 +22,25 @@ Subpackages
     Analytic CPU/GPU cost models and a true-backprop ANN reference.
 ``repro.analysis``
     Metrics, trade-off sweeps and table formatting for the benchmarks.
+``repro.persist``
+    Versioned checkpoint save/load (npz arrays + JSON manifest) for every
+    trainable model.
+``repro.experiments``
+    Config-driven experiment orchestration: declarative specs, a seed
+    fan-out runner, and a ``runs/`` store; drives ``python -m repro``.
 """
 
-__version__ = "1.0.0"
+try:  # installed package: single source of truth is the distribution metadata
+    from importlib.metadata import version as _dist_version
 
-from . import analysis, baselines, core, data, incremental, loihi, models, onchip
+    __version__ = _dist_version("emstdp-repro")
+except Exception:  # running from a source tree (PYTHONPATH=src)
+    __version__ = "1.0.0"
 
-__all__ = ["analysis", "baselines", "core", "data", "incremental", "loihi",
-           "models", "onchip", "__version__"]
+from . import (analysis, baselines, core, data, experiments, incremental,
+               loihi, models, onchip, persist)
+from .seeding import as_rng
+
+__all__ = ["analysis", "baselines", "core", "data", "experiments",
+           "incremental", "loihi", "models", "onchip", "persist",
+           "as_rng", "__version__"]

@@ -107,6 +107,26 @@ class BackpropMLP:
             self.biases[i] -= self.lr * gb
         return float(np.mean(np.argmax(logits, axis=1) == ys)) if len(ys) else 0.0
 
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot of everything needed to restore the model."""
+        return {
+            "dims": self.dims,
+            "lr": self.lr,
+            "weights": [w.copy() for w in self.weights],
+            "biases": [b.copy() for b in self.biases],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if tuple(int(d) for d in state["dims"]) != self.dims:
+            raise ValueError(
+                f"checkpoint dims {tuple(state['dims'])} != model dims "
+                f"{self.dims}")
+        self.weights = [np.array(w, dtype=float) for w in state["weights"]]
+        self.biases = [np.array(b, dtype=float) for b in state["biases"]]
+        self.lr = float(state.get("lr", self.lr))
+
     def evaluate_batch(self, xs, ys, batch_size: int = 1024) -> float:
         xs = as_sample_batch(xs, self.dims[0])
         ys = np.asarray(ys, dtype=np.int64).reshape(-1)

@@ -1,0 +1,227 @@
+"""``python -m repro`` — run, list, show, and compare experiments.
+
+Subcommands::
+
+    run <scenario> [--tiny] [--seeds N] [--seed-base B] [--resume [RUN_ID]]
+        Execute a scenario's spec over N seeds (process-pool fan-out) and
+        print its results table.  ``--resume`` without an id picks the
+        newest unfinished run of the scenario; finished seeds are skipped.
+    list
+        Table of every run in the store (status, seeds done, version).
+    show <run_id>
+        The per-seed results table of one run (id prefixes work).
+    compare <run_id> [<run_id> ...]
+        Mean numeric metrics of several runs side by side.
+
+All output renders through :mod:`repro.analysis.reporting`, the same
+dependency-free table formatter the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .analysis.reporting import format_table
+from .experiments import Runner, RunStore, get_scenario
+from .experiments.scenarios import SCENARIOS
+from .experiments.store import RunInfo
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="EMSTDP experiment orchestration "
+                    f"(scenarios: {', '.join(sorted(SCENARIOS))})")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a scenario over a seed fan-out")
+    run.add_argument("scenario", choices=sorted(SCENARIOS))
+    run.add_argument("--tiny", action="store_true",
+                     help="CI-sized variant of the spec (<30 s)")
+    run.add_argument("--seeds", type=int, default=None, metavar="N",
+                     help="number of independent seeds (default: the "
+                          "spec's own seed list)")
+    run.add_argument("--seed-base", type=int, default=0, metavar="B",
+                     help="first seed of the fan-out (default 0)")
+    run.add_argument("--epochs", type=int, default=None,
+                     help="override the spec's training epochs")
+    run.add_argument("--workers", type=int, default=None, metavar="W",
+                     help="process-pool width (1 = run inline)")
+    run.add_argument("--out", default="runs",
+                     help="run-store root directory (default: runs/)")
+    run.add_argument("--resume", nargs="?", const="latest", default=None,
+                     metavar="RUN_ID",
+                     help="resume a killed run instead of starting a new "
+                          "one (no id = newest unfinished run of this "
+                          "scenario); finished seeds are not re-run")
+
+    lst = sub.add_parser("list", help="list all runs in the store")
+    lst.add_argument("--out", default="runs")
+    lst.add_argument("--experiment", default=None,
+                     help="only runs of this scenario")
+
+    show = sub.add_parser("show", help="render one run's results table")
+    show.add_argument("run_id", help="run id or unique prefix")
+    show.add_argument("--out", default="runs")
+
+    cmp_ = sub.add_parser("compare",
+                          help="mean metrics of several runs side by side")
+    cmp_.add_argument("run_ids", nargs="+", metavar="run_id")
+    cmp_.add_argument("--out", default="runs")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "show":
+            return _cmd_show(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+# ---------------------------------------------------------------------------
+# run
+# ---------------------------------------------------------------------------
+
+def _cmd_run(args) -> int:
+    scenario = get_scenario(args.scenario)
+    spec = scenario.build_spec(tiny=args.tiny)
+    if args.resume is not None:
+        if args.resume != "latest":
+            run = RunStore(args.out).find(args.resume)
+            if run.experiment != args.scenario:
+                print(f"error: run {run.run_id} is a {run.experiment} run, "
+                      f"not {args.scenario}", file=sys.stderr)
+                return 2
+        if args.tiny or args.seeds is not None or args.epochs is not None \
+                or args.seed_base:
+            print("note: --resume takes the spec from the run's manifest; "
+                  "--tiny/--seeds/--seed-base/--epochs are ignored",
+                  file=sys.stderr)
+    if args.seeds is not None:
+        spec = spec.replace(
+            seeds=tuple(range(args.seed_base, args.seed_base + args.seeds)))
+    if args.epochs is not None:
+        spec = spec.replace(epochs=args.epochs)
+    runner = Runner(out_root=args.out, max_workers=args.workers)
+    result = runner.run(spec, resume=args.resume, progress=print)
+    print()
+    print(result.summary())
+    print(f"\nrun directory: {result.run_dir}")
+    return 0 if result.status == "complete" else 1
+
+
+# ---------------------------------------------------------------------------
+# list
+# ---------------------------------------------------------------------------
+
+def _cmd_list(args) -> int:
+    store = RunStore(args.out)
+    runs = store.list_runs(args.experiment)
+    if not runs:
+        print(f"no runs under {store.root}/ "
+              f"(start one with: python -m repro run <scenario>)")
+        return 0
+    rows = []
+    for run in runs:
+        total = len(run.manifest.get("seeds", []))
+        done = len(store.done_seeds(run))
+        rows.append([run.experiment, run.run_id, run.status,
+                     f"{done}/{total}",
+                     run.manifest.get("repro_version", "?")])
+    print(format_table(
+        ["experiment", "run_id", "status", "seeds", "version"], rows))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# show
+# ---------------------------------------------------------------------------
+
+def _cmd_show(args) -> int:
+    store = RunStore(args.out)
+    run = store.find(args.run_id)
+    records = [r for r in store.records(run) if r.get("status") == "ok"]
+    scenario = get_scenario(run.experiment)
+    headers, rows = scenario.summarize(
+        sorted(records, key=lambda r: r["seed"]))
+    print(format_table(headers, rows,
+                       title=f"{run.experiment} · run {run.run_id} "
+                             f"[{run.status}] · repro "
+                             f"{run.manifest.get('repro_version', '?')}"))
+    means = _mean_metrics(records)
+    if means:
+        print()
+        print(format_table(["metric", "mean"],
+                           [[k, v] for k, v in sorted(means.items())],
+                           title=f"means over {len(records)} seed(s)"))
+    # A seed that errored and later succeeded on --resume has both an
+    # error and an ok line (records.jsonl is append-only); only seeds
+    # with no ok record are still failed.
+    ok_seeds = {r["seed"] for r in records}
+    errors = [r for r in store.records(run)
+              if r.get("status") != "ok" and r["seed"] not in ok_seeds]
+    if errors:
+        print(f"\n{len(errors)} seed(s) failed: "
+              f"{sorted(r['seed'] for r in errors)} "
+              f"(resume with: python -m repro run {run.experiment} "
+              f"--resume {run.run_id})")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# compare
+# ---------------------------------------------------------------------------
+
+def _cmd_compare(args) -> int:
+    store = RunStore(args.out)
+    runs = [store.find(rid) for rid in args.run_ids]
+    means = []
+    for run in runs:
+        ok = [r for r in store.records(run) if r.get("status") == "ok"]
+        means.append(_mean_metrics(ok))
+    columns = sorted(set().union(*means)) if means else []
+    rows = []
+    for run, m in zip(runs, means):
+        rows.append([f"{run.experiment}/{run.run_id}"] +
+                    [m.get(c, "") for c in columns])
+    print(format_table(["run"] + columns, rows,
+                       title="mean metrics per run"))
+    return 0
+
+
+def _mean_metrics(records: List[dict]) -> Dict[str, float]:
+    """Mean of every numeric metric leaf over the given records."""
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for rec in records:
+        for key, value in _flatten(rec.get("metrics", {})).items():
+            sums[key] = sums.get(key, 0.0) + value
+            counts[key] = counts.get(key, 0) + 1
+    return {k: sums[k] / counts[k] for k in sums}
+
+
+def _flatten(metrics: dict, prefix: str = "") -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for key, value in metrics.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(_flatten(value, name + "."))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[name] = float(value)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -8,8 +8,11 @@ four tasks, as CIFAR-10 is in the paper (61-64% accuracy in Table I versus
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from ..seeding import as_rng
 from .synth import Dataset, blank_canvas, draw_arc, fill_polygon
 
 #: (hue RGB weights, shape id) per class.
@@ -56,12 +59,11 @@ def _draw_shape(mask: np.ndarray, shape: str, rng: np.random.Generator) -> None:
 
 
 def render_object(label: int, side: int = 16,
-                  rng: np.random.Generator = None) -> np.ndarray:
+                  rng: Optional[np.random.Generator] = None) -> np.ndarray:
     """One ``(side, side, 3)`` colour image in [0, 1]."""
     if not 0 <= label <= 9:
         raise ValueError(f"label must be 0..9, got {label}")
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = as_rng(rng)
     hue, shape = _CLASS_SPEC[label]
     # textured background with a random colour cast (heavy clutter: natural
     # image backgrounds are the reason CIFAR is the hardest of the four)

@@ -8,8 +8,11 @@ harder-than-MNIST confusion structure of the real dataset.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from ..seeding import as_rng
 from .synth import Dataset, add_noise, blank_canvas, fill_polygon, warp
 
 CLASS_NAMES = ("tshirt", "trouser", "pullover", "dress", "coat", "sandal",
@@ -47,7 +50,7 @@ def _silhouette(label: int) -> list:
 
 
 def render_garment(label: int, side: int = 16,
-                   rng: np.random.Generator = None,
+                   rng: Optional[np.random.Generator] = None,
                    distort: bool = True) -> np.ndarray:
     if not 0 <= label <= 9:
         raise ValueError(f"label must be 0..9, got {label}")
@@ -56,8 +59,7 @@ def render_garment(label: int, side: int = 16,
     for poly in _silhouette(label):
         fill_polygon(img, poly * s, value=0.85)
     if distort:
-        if rng is None:
-            rng = np.random.default_rng()
+        rng = as_rng(rng)
         # garment fabric texture + shape variation
         img = img * rng.uniform(0.75, 1.0)
         img = warp(img, rng, max_shift=side / 12.0, max_rot=0.12,

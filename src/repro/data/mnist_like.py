@@ -9,8 +9,11 @@ benchmarks).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from ..seeding import as_rng
 from .synth import Dataset, add_noise, blank_canvas, draw_arc, draw_line, warp
 
 # Templates in normalized (r, c) in [0, 1]; "line": (r0, c0, r1, c1);
@@ -33,7 +36,7 @@ _TEMPLATES = {
 
 
 def render_digit(digit: int, side: int = 16,
-                 rng: np.random.Generator = None,
+                 rng: Optional[np.random.Generator] = None,
                  distort: bool = True) -> np.ndarray:
     """Render one digit image in [0, 1] of shape ``(side, side)``."""
     if digit not in _TEMPLATES:
@@ -51,8 +54,7 @@ def render_digit(digit: int, side: int = 16,
             draw_arc(img, cr * s, cc * s, radius * s,
                      a0 * np.pi, a1 * np.pi, thickness=thickness)
     if distort:
-        if rng is None:
-            rng = np.random.default_rng()
+        rng = as_rng(rng)
         img = warp(img, rng, max_shift=side / 12.0)
         img = add_noise(img, rng, sigma=0.04)
     return img

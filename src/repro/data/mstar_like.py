@@ -17,8 +17,11 @@ generator renders the target chip at the requested side directly.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from ..seeding import as_rng
 from .synth import Dataset, blank_canvas, fill_polygon
 
 #: (length, width, n_scatterers, turret, reflectivity) per vehicle class.
@@ -35,12 +38,11 @@ _VEHICLES = [
 
 
 def render_chip(label: int, side: int = 16,
-                rng: np.random.Generator = None) -> np.ndarray:
+                rng: Optional[np.random.Generator] = None) -> np.ndarray:
     """One SAR target chip in [0, 1] of shape ``(side, side)``."""
     if not 0 <= label <= 9:
         raise ValueError(f"label must be 0..9, got {label}")
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = as_rng(rng)
     length, width, n_scatter, turret, reflect = _VEHICLES[label]
     s = side - 1
     # clutter floor with multiplicative speckle (gamma, shape 1 = exponential

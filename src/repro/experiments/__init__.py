@@ -1,0 +1,27 @@
+"""Config-driven experiment orchestration.
+
+The pieces, bottom-up:
+
+* :class:`ExperimentSpec` — a frozen, JSON-round-trippable description of
+  one experiment (scenario, dataset, network shape, backends, seeds).
+* :data:`SCENARIOS` / :func:`get_scenario` — the registry of runnable
+  scenario families (``offline_accuracy``, ``incremental_iol``,
+  ``energy_tradeoff``, plus anything you :func:`register`).
+* :class:`Runner` — fans independent seeds out over a process pool,
+  writes one JSONL record (and checkpoints) per seed into
+  ``runs/<experiment>/<run_id>/``, and resumes killed runs from the
+  manifest.
+* :class:`RunStore` — reads/writes that directory tree for the CLI's
+  ``list`` / ``show`` / ``compare``.
+
+``python -m repro`` is a thin argparse layer over these.
+"""
+
+from .runner import Runner, RunResult, new_run_id
+from .scenarios import SCENARIOS, Scenario, get_scenario, register
+from .spec import ExperimentSpec
+from .store import RunInfo, RunStore
+
+__all__ = ["ExperimentSpec", "Runner", "RunResult", "RunInfo", "RunStore",
+           "SCENARIOS", "Scenario", "get_scenario", "register",
+           "new_run_id"]

@@ -1,0 +1,235 @@
+"""The experiment runner: seed fan-out, persistence, resume.
+
+One ``Runner.run(spec)`` call executes every seed of the spec, each in its
+own worker process (seeds are fully independent: their dataset split,
+model init and training stream all derive from the seed), and streams one
+JSONL record per finished seed into the run directory.  Records are
+written by the parent as futures complete, so a killed run keeps every
+finished seed; ``resume`` re-opens the run directory, reads the manifest's
+spec and the finished seeds, and only runs what is missing.
+
+Worker processes must be able to re-import this module and look the
+scenario up by name, which is why :func:`_seed_worker` is a top-level
+function taking only picklable arguments (the spec as a dict).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+import traceback
+import uuid
+from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
+                                as_completed)
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .spec import ExperimentSpec
+from .store import CHECKPOINT_DIR_NAME, RunInfo, RunStore
+
+
+def new_run_id() -> str:
+    """Sortable, collision-safe run id: ``YYYYmmdd-HHMMSS-<hex6>``."""
+    return time.strftime("%Y%m%d-%H%M%S") + "-" + uuid.uuid4().hex[:6]
+
+
+def _seed_worker(spec_dict: dict, seed: int, ckpt_dir: Optional[str]) -> dict:
+    """Run one seed of one scenario; returns the record payload."""
+    from .scenarios import get_scenario
+
+    spec = ExperimentSpec.from_dict(spec_dict)
+    scenario = get_scenario(spec.name)
+    t0 = time.perf_counter()
+    payload = scenario.run_seed(
+        spec, int(seed), Path(ckpt_dir) if ckpt_dir else None)
+    payload = dict(payload)
+    payload.setdefault("series", {})
+    payload.setdefault("checkpoints", {})
+    payload["seed"] = int(seed)
+    payload["duration_s"] = round(time.perf_counter() - t0, 3)
+    return payload
+
+
+@dataclasses.dataclass
+class RunResult:
+    """What ``Runner.run`` hands back: the run plus its records."""
+
+    run: RunInfo
+    records: List[dict]
+    skipped_seeds: List[int]
+
+    @property
+    def run_id(self) -> str:
+        return self.run.run_id
+
+    @property
+    def run_dir(self) -> Path:
+        return self.run.path
+
+    @property
+    def status(self) -> str:
+        return self.run.status
+
+    def ok_records(self) -> List[dict]:
+        return sorted((r for r in self.records if r.get("status") == "ok"),
+                      key=lambda r: r["seed"])
+
+    def error_records(self) -> List[dict]:
+        return [r for r in self.records if r.get("status") != "ok"]
+
+    def first_ok(self) -> dict:
+        """The lowest-seed finished record; raises if every seed failed."""
+        ok = self.ok_records()
+        if ok:
+            return ok[0]
+        detail = ""
+        errors = self.error_records()
+        if errors:
+            detail = (f"; seed {errors[0]['seed']} raised:\n"
+                      f"{errors[0].get('error', '')}")
+        raise RuntimeError(
+            f"run {self.run_id} produced no finished seeds "
+            f"(see {self.run_dir / 'records.jsonl'}){detail}")
+
+    def summary(self) -> str:
+        """Scenario-rendered results table for the finished seeds."""
+        from ..analysis.reporting import format_table
+        from .scenarios import get_scenario
+
+        scenario = get_scenario(self.run.experiment)
+        headers, rows = scenario.summarize(self.ok_records())
+        title = (f"{self.run.experiment} · run {self.run_id} "
+                 f"[{self.status}]")
+        return format_table(headers, rows, title=title)
+
+
+class Runner:
+    """Executes :class:`ExperimentSpec` seed fan-outs against a run store.
+
+    Parameters
+    ----------
+    out_root:
+        Root of the run store (default ``runs/``).
+    max_workers:
+        Process pool width; ``1`` runs seeds inline in this process (used
+        by the examples and handy under debuggers).  Defaults to one
+        worker per pending seed, capped at the CPU count.
+    """
+
+    def __init__(self, out_root="runs", max_workers: Optional[int] = None):
+        self.store = RunStore(out_root)
+        self.max_workers = max_workers
+
+    def run(self, spec: Optional[ExperimentSpec] = None,
+            resume: Optional[str] = None,
+            progress: Optional[callable] = None) -> RunResult:
+        """Run ``spec``, or resume an existing run.
+
+        ``resume`` is a run id (or unique prefix), or ``"latest"`` for the
+        newest unfinished run of ``spec.name``.  A resumed run takes its
+        spec from the manifest — the caller's ``spec`` is only used to
+        select the experiment when ``resume="latest"``.
+        """
+        if resume is not None:
+            if resume == "latest":
+                if spec is None:
+                    raise ValueError(
+                        'resume="latest" needs a spec to name the '
+                        "experiment")
+                run = self.store.latest(spec.name, unfinished_only=True)
+            else:
+                run = self.store.find(resume)
+            spec = run.spec()
+        else:
+            if spec is None:
+                raise ValueError("need a spec or a run id to resume")
+            run = self.store.create_run(spec, new_run_id())
+
+        done = self.store.done_seeds(run)
+        pending = [s for s in spec.seeds if s not in done]
+        skipped = [s for s in spec.seeds if s in done]
+        if progress is not None and skipped:
+            progress(f"resuming {run.run_id}: seeds {skipped} already done")
+
+        envelope = {
+            "experiment": spec.name,
+            "run_id": run.run_id,
+            "repro_version": run.manifest["repro_version"],
+        }
+        records = list(done.values())
+        failed = False
+        for payload in self._execute(spec, pending, run, progress):
+            record = {**envelope, **payload}
+            record.setdefault("status", "ok")
+            self.store.append_record(run, record)
+            records.append(record)
+            failed = failed or record["status"] != "ok"
+            if progress is not None:
+                progress(f"seed {record['seed']}: {record['status']} "
+                         f"({record.get('duration_s', '?')}s)")
+
+        run = self.store.update_status(
+            run, "failed" if failed else "complete")
+        return RunResult(run=run, records=records, skipped_seeds=skipped)
+
+    # -- execution strategies -------------------------------------------
+
+    def _execute(self, spec: ExperimentSpec, pending: List[int],
+                 run: RunInfo, progress: Optional[callable]):
+        """Yield one record payload per pending seed as they finish."""
+        if not pending:
+            return
+        spec_dict = spec.to_dict()
+        ckpt_dir = str(run.path / CHECKPOINT_DIR_NAME)
+        workers = self.max_workers
+        if workers is None:
+            workers = min(len(pending), os.cpu_count() or 1)
+        if workers <= 1 or len(pending) == 1:
+            yield from self._execute_inline(spec_dict, pending, ckpt_dir)
+            return
+        yielded = set()
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(_seed_worker, spec_dict, s, ckpt_dir): s
+                           for s in pending}
+                for fut in as_completed(futures):
+                    seed = futures[fut]
+                    try:
+                        payload = fut.result()
+                    except BrokenExecutor:
+                        raise  # pool itself is gone; fall back below
+                    except Exception:
+                        # Includes OSError raised by the seed's own work
+                        # (e.g. an unwritable checkpoint dir): that is a
+                        # seed failure, not a pool failure.
+                        payload = _error_payload(seed)
+                    yielded.add(seed)
+                    yield payload
+        except (OSError, BrokenExecutor) as exc:
+            # Sandboxes without fork/semaphores (or a pool that died under
+            # us): degrade to inline execution for whatever has not
+            # finished rather than failing the run.
+            if progress is not None:
+                progress(f"process pool unavailable ({exc}); "
+                         "running remaining seeds inline")
+            yield from self._execute_inline(
+                spec_dict, [s for s in pending if s not in yielded],
+                ckpt_dir)
+
+    @staticmethod
+    def _execute_inline(spec_dict: dict, pending: List[int], ckpt_dir: str):
+        for seed in pending:
+            try:
+                yield _seed_worker(spec_dict, seed, ckpt_dir)
+            except Exception:
+                yield _error_payload(seed)
+
+
+def _error_payload(seed: int) -> dict:
+    return {
+        "seed": int(seed),
+        "status": "error",
+        "error": traceback.format_exc(limit=20),
+        "metrics": {}, "series": {}, "checkpoints": {},
+    }

@@ -1,0 +1,358 @@
+"""Built-in experiment scenarios reproducing the paper's result set.
+
+``offline_accuracy``
+    Table I's comparison: the EMSTDP reference implementation (``rate`` and
+    ``spike`` backends) and/or the simulated-Loihi trainer vs. the
+    true-backprop MLP baseline, trained online on the same stream.
+``incremental_iol``
+    The Section IV-B / Fig. 4 incremental online learning protocol
+    (two-step learn-new / retrain-mixed schedule with replay).
+``energy_tradeoff``
+    The Fig. 3 neurons-per-core sweep through the chip energy model, for
+    FA and DFA feedback.
+
+A scenario bundles three functions: ``build_spec`` (the declarative
+default, with a ``tiny`` CI-sized variant), ``run_seed`` (the work for one
+seed — executed in a worker process by the runner), and ``summarize``
+(records -> table for ``python -m repro show``).  Register new scenarios
+with :func:`register`; the CLI and runner discover them by name.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.tradeoff import (as_series, best_energy_point,
+                                 sweep_neurons_per_core)
+from ..baselines.rate_ann import BackpropMLP
+from ..core.config import full_precision_config, loihi_default_config
+from ..core.network import EMSTDPNetwork
+from ..data.loaders import load_dataset
+from ..incremental.protocol import (IOLConfig, IncrementalOnlineLearner,
+                                    forgetting_dip, recovery)
+from ..persist import save_checkpoint
+from .spec import ExperimentSpec
+
+Summary = Tuple[List[str], List[List[object]]]
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """A named, runnable experiment family."""
+
+    name: str
+    description: str
+    build_spec: Callable[..., ExperimentSpec]
+    run_seed: Callable[[ExperimentSpec, int, Optional[Path]], dict]
+    summarize: Callable[[Sequence[dict]], Summary]
+
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    if scenario.name in SCENARIOS:
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    if name not in SCENARIOS:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}")
+    return SCENARIOS[name]
+
+
+# ---------------------------------------------------------------------------
+# offline_accuracy
+# ---------------------------------------------------------------------------
+
+def _offline_spec(tiny: bool = False, **overrides) -> ExperimentSpec:
+    spec = ExperimentSpec(
+        name="offline_accuracy",
+        dataset="mnist_like", n_train=600, n_test=200, side=16,
+        hidden=(100,), backends=("rate", "spike", "backprop"),
+        params={"chip_train_limit": 300, "chip_test_limit": 100},
+    )
+    if tiny:
+        spec = spec.replace(
+            n_train=96, n_test=48, side=8, hidden=(24,), phase_length=16,
+            tiny=True,
+            params={"chip_train_limit": 96, "chip_test_limit": 48},
+        )
+    return spec.replace(**overrides) if overrides else spec
+
+
+def _chip_feedback(backend: str) -> str:
+    return backend.split(":", 1)[1] if ":" in backend else "dfa"
+
+
+def _run_offline_seed(spec: ExperimentSpec, seed: int,
+                      ckpt_dir: Optional[Path]) -> dict:
+    p = spec.params
+    train, test = load_dataset(spec.dataset, n_train=spec.n_train,
+                               n_test=spec.n_test, side=spec.side, seed=seed)
+    if p.get("use_frontend"):
+        from ..models import ConvFrontend, paper_topology
+        channels = train.images.shape[3] if train.images.ndim == 4 else 1
+        frontend = ConvFrontend(paper_topology(spec.side, channels),
+                                seed=seed)
+        frontend.pretrain(train.images, train.labels,
+                          epochs=int(p.get("frontend_epochs", 3)))
+        xs, xte = frontend.features(train.images), frontend.features(
+            test.images)
+    else:
+        frontend = None
+        xs, xte = train.flat(), test.flat()
+    ys, yte = train.labels, test.labels
+    dims = spec.dims(xs.shape[1])
+
+    metrics: Dict[str, dict] = {}
+    checkpoints: Dict[str, str] = {}
+    for backend in spec.backends:
+        if backend.startswith("chip"):
+            model, entry = _run_chip_backend(spec, seed, backend, frontend,
+                                             train, test, xs, xte)
+        else:
+            model, entry = _run_soft_backend(spec, seed, backend, dims,
+                                             xs, ys, xte, yte)
+        metrics[backend] = entry
+        if ckpt_dir is not None:
+            stem = Path(ckpt_dir) / f"seed{seed}-{backend.replace(':', '-')}"
+            save_checkpoint(model, stem, meta={
+                "experiment": spec.name, "seed": seed, "backend": backend})
+            checkpoints[backend] = stem.name
+    return {"metrics": metrics, "checkpoints": checkpoints}
+
+
+def _run_soft_backend(spec, seed, backend, dims, xs, ys, xte, yte):
+    p = spec.params
+    if backend == "backprop":
+        model = BackpropMLP(dims, lr=float(p.get("backprop_lr", 0.05)),
+                            seed=seed)
+    elif backend in ("rate", "spike"):
+        cfg_kw = dict(seed=seed, dynamics=backend)
+        if spec.phase_length:
+            cfg_kw["phase_length"] = spec.phase_length
+        model = EMSTDPNetwork(dims, full_precision_config(**cfg_kw))
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+    train_acc = 0.0
+    for _ in range(spec.epochs):
+        train_acc = model.train_stream(xs, ys)
+    test_acc = model.evaluate_batch(xte, yte)
+    return model, {"train_acc": float(train_acc), "test_acc": float(test_acc)}
+
+
+def _run_chip_backend(spec, seed, backend, frontend, train, test, xs, xte):
+    from ..models.convert import frontend_matrices
+    from ..onchip import LoihiEMSTDPTrainer, build_emstdp_network
+
+    p = spec.params
+    cfg_kw = dict(seed=seed, feedback=_chip_feedback(backend),
+                  learning_rate=float(p.get("chip_learning_rate", 2.0 ** -5)),
+                  error_gain=float(p.get("chip_error_gain", 2.0)))
+    if spec.phase_length:
+        cfg_kw["phase_length"] = spec.phase_length
+    cfg = loihi_default_config(**cfg_kw)
+    if frontend is not None and p.get("onchip_frontend"):
+        # The Section IV-A arrangement: conv layers unrolled into fixed
+        # on-chip connectivity, raw images programmed as input biases.
+        mats, biases = frontend_matrices(frontend)
+        model = build_emstdp_network(
+            spec.dims(frontend.n_features), cfg,
+            frontend_layers=list(zip(mats, biases)))
+        tx, ttx = train.flat(), test.flat()
+    else:
+        model = build_emstdp_network(spec.dims(xs.shape[1]), cfg)
+        tx, ttx = xs, xte
+    trainer = LoihiEMSTDPTrainer(
+        model, neurons_per_core=int(p.get("neurons_per_core", 10)))
+    lim = min(int(p.get("chip_train_limit", len(tx))), len(tx))
+    tlim = min(int(p.get("chip_test_limit", len(ttx))), len(ttx))
+    train_acc = 0.0
+    for _ in range(spec.epochs):
+        train_acc = trainer.train_stream(tx[:lim], train.labels[:lim])
+    test_acc = trainer.evaluate(ttx[:tlim], test.labels[:tlim])
+    report = trainer.energy_report()
+    return trainer, {
+        "train_acc": float(train_acc), "test_acc": float(test_acc),
+        "cores_used": trainer.mapping.cores_used,
+        "fps": float(report.fps), "power_w": float(report.power_w),
+        "energy_per_sample_mj": float(report.energy_per_sample_mj),
+    }
+
+
+def _summarize_offline(records: Sequence[dict]) -> Summary:
+    headers = ["seed", "backend", "train_acc", "test_acc"]
+    rows = []
+    for rec in records:
+        for backend, entry in rec.get("metrics", {}).items():
+            rows.append([rec["seed"], backend,
+                         entry.get("train_acc", ""),
+                         entry.get("test_acc", "")])
+    return headers, rows
+
+
+register(Scenario(
+    name="offline_accuracy",
+    description="EMSTDP (rate/spike/chip) vs. true-backprop MLP, online "
+                "training accuracy per seed (Table I)",
+    build_spec=_offline_spec,
+    run_seed=_run_offline_seed,
+    summarize=_summarize_offline,
+))
+
+
+# ---------------------------------------------------------------------------
+# incremental_iol
+# ---------------------------------------------------------------------------
+
+def _iol_spec(tiny: bool = False, **overrides) -> ExperimentSpec:
+    spec = ExperimentSpec(
+        name="incremental_iol",
+        dataset="mnist_like", n_train=900, n_test=300, side=16,
+        hidden=(100,), backends=("rate",),
+        # The paper's arrangement: a pretrained conv frontend feeds the
+        # incrementally trained dense classifier.
+        params={"iol": {}, "use_frontend": True, "frontend_epochs": 3},
+    )
+    if tiny:
+        spec = spec.replace(
+            n_train=220, n_test=80, side=8, hidden=(24,), phase_length=16,
+            tiny=True,
+            params={"iol": {"rounds_per_increment": 2, "chunk_size": 20,
+                            "replay_per_round": 20}},
+        )
+    return spec.replace(**overrides) if overrides else spec
+
+
+def _run_iol_seed(spec: ExperimentSpec, seed: int,
+                  ckpt_dir: Optional[Path]) -> dict:
+    train, test = load_dataset(spec.dataset, n_train=spec.n_train,
+                               n_test=spec.n_test, side=spec.side, seed=seed)
+    from ..data.synth import Dataset
+    if spec.params.get("use_frontend"):
+        from ..models import ConvFrontend, paper_topology
+        channels = train.images.shape[3] if train.images.ndim == 4 else 1
+        frontend = ConvFrontend(paper_topology(spec.side, channels),
+                                seed=seed)
+        frontend.pretrain(train.images, train.labels,
+                          epochs=int(spec.params.get("frontend_epochs", 3)))
+        ftrain = Dataset(frontend.features(train.images), train.labels)
+        ftest = Dataset(frontend.features(test.images), test.labels)
+    else:
+        ftrain = Dataset(train.flat(), train.labels)
+        ftest = Dataset(test.flat(), test.labels)
+    cfg_kw = dict(seed=seed)
+    if spec.phase_length:
+        cfg_kw["phase_length"] = spec.phase_length
+    net = EMSTDPNetwork(spec.dims(ftrain.images.shape[1]),
+                        full_precision_config(**cfg_kw))
+    iol_cfg = IOLConfig(seed=seed, **spec.params.get("iol", {}))
+    learner = IncrementalOnlineLearner(net, ftrain, ftest, iol_cfg)
+    result = learner.run()
+    curves = result.curves()
+    checkpoints: Dict[str, str] = {}
+    if ckpt_dir is not None:
+        stem = Path(ckpt_dir) / f"seed{seed}-final"
+        save_checkpoint(net, stem, meta={
+            "experiment": spec.name, "seed": seed})
+        checkpoints["final"] = stem.name
+    return {
+        "metrics": {
+            "final_acc": float(curves["after_step2"][-1]),
+            "forgetting_dip": float(forgetting_dip(result)),
+            "recovery": float(recovery(result)),
+            "n_rounds": len(result.records),
+        },
+        "series": {k: [float(v) for v in vals]
+                   for k, vals in curves.items()},
+        "checkpoints": checkpoints,
+    }
+
+
+def _summarize_iol(records: Sequence[dict]) -> Summary:
+    headers = ["seed", "final_acc", "forgetting_dip", "recovery", "n_rounds"]
+    rows = [[rec["seed"]] + [rec.get("metrics", {}).get(k, "")
+                             for k in headers[1:]]
+            for rec in records]
+    return headers, rows
+
+
+register(Scenario(
+    name="incremental_iol",
+    description="Two-step incremental online learning protocol "
+                "(Section IV-B, Fig. 4): forgetting dip and recovery",
+    build_spec=_iol_spec,
+    run_seed=_run_iol_seed,
+    summarize=_summarize_iol,
+))
+
+
+# ---------------------------------------------------------------------------
+# energy_tradeoff
+# ---------------------------------------------------------------------------
+
+def _energy_spec(tiny: bool = False, **overrides) -> ExperimentSpec:
+    spec = ExperimentSpec(
+        name="energy_tradeoff",
+        hidden=(100,), backends=("fa", "dfa"),
+        params={"n_in": 128, "packings": [5, 10, 15, 20, 25, 30],
+                "n_samples": 10_000},
+    )
+    if tiny:
+        spec = spec.replace(
+            hidden=(20,), tiny=True,
+            params={"n_in": 64, "packings": [5, 10, 15],
+                    "n_samples": 2_000},
+        )
+    return spec.replace(**overrides) if overrides else spec
+
+
+def _run_energy_seed(spec: ExperimentSpec, seed: int,
+                     ckpt_dir: Optional[Path]) -> dict:
+    del ckpt_dir  # nothing is trained in the sweep, so nothing to persist
+    p = spec.params
+    dims = spec.dims(int(p.get("n_in", 128)))
+    metrics: Dict[str, dict] = {}
+    series: Dict[str, dict] = {}
+    for feedback in spec.backends:
+        cfg = loihi_default_config(seed=seed, feedback=feedback)
+        points = sweep_neurons_per_core(
+            dims, cfg, packings=tuple(p.get("packings", (5, 10, 15, 20))),
+            n_samples=int(p.get("n_samples", 10_000)))
+        best = best_energy_point(points)
+        metrics[feedback] = {
+            "best_packing": best.neurons_per_core,
+            "cores_used": best.cores_used,
+            "energy_per_sample_mj": best.energy_per_sample_mj,
+            "power_w": best.active_power_w,
+            "time_s": best.time_s,
+        }
+        series[feedback] = as_series(points)
+    return {"metrics": metrics, "series": series, "checkpoints": {}}
+
+
+def _summarize_energy(records: Sequence[dict]) -> Summary:
+    headers = ["seed", "feedback", "best_packing", "cores_used",
+               "energy_per_sample_mj", "power_w", "time_s"]
+    rows = []
+    for rec in records:
+        for feedback, entry in rec.get("metrics", {}).items():
+            rows.append([rec["seed"], feedback] +
+                        [entry.get(k, "") for k in headers[2:]])
+    return headers, rows
+
+
+register(Scenario(
+    name="energy_tradeoff",
+    description="Neurons-per-core energy/latency sweep through the chip "
+                "model, FA vs. DFA (Fig. 3)",
+    build_spec=_energy_spec,
+    run_seed=_run_energy_seed,
+    summarize=_summarize_energy,
+))

@@ -1,0 +1,98 @@
+"""Declarative experiment configuration.
+
+An :class:`ExperimentSpec` is the *complete* description of one experiment:
+which scenario to run (``name`` keys into the scenario registry), the
+dataset and its size, the network shape, the backends to compare, and the
+seeds to fan out over.  Specs are frozen, JSON-round-trippable values — the
+runner writes the spec into every run's ``manifest.json`` so ``--resume``
+and later re-runs never depend on command-line history.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """What to run, on what data, over which seeds.
+
+    Attributes
+    ----------
+    name:
+        Scenario registry key (``offline_accuracy``, ``incremental_iol``,
+        ``energy_tradeoff``, ...).
+    dataset:
+        A :data:`repro.data.DATASETS` key (ignored by scenarios that do not
+        load data, e.g. the energy sweep).
+    n_train / n_test / side:
+        Synthetic dataset sizes and image side length.
+    hidden:
+        Hidden layer widths of the trainable dense network.
+    n_classes:
+        Output classes (all built-in datasets have 10).
+    backends:
+        Models to compare where the scenario supports several:
+        ``"rate"`` / ``"spike"`` (EMSTDP reference backends),
+        ``"backprop"`` (the true-gradient MLP baseline), and ``"chip"`` /
+        ``"chip:fa"`` / ``"chip:dfa"`` (the simulated-Loihi trainer).
+    epochs:
+        Online passes over the training stream.
+    phase_length:
+        Override for the EMSTDP phase length ``T`` (``None`` keeps each
+        config factory's default of 64).
+    seeds:
+        The independent seeds the runner fans out over; each seed gets its
+        own dataset split, model init, and JSONL record.
+    tiny:
+        Marks the CI-sized variant (also recorded in the manifest).
+    params:
+        Scenario-specific extras (frontend pretraining, chip sample caps,
+        IOL schedule, packing sweep, ...); values must be JSON-safe.
+    """
+
+    name: str
+    dataset: str = "mnist_like"
+    n_train: int = 600
+    n_test: int = 200
+    side: int = 16
+    hidden: Tuple[int, ...] = (100,)
+    n_classes: int = 10
+    backends: Tuple[str, ...] = ("rate", "spike", "backprop")
+    epochs: int = 1
+    phase_length: Optional[int] = None
+    seeds: Tuple[int, ...] = (0,)
+    tiny: bool = False
+    params: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(self, "hidden", tuple(int(h) for h in self.hidden))
+        object.__setattr__(self, "backends", tuple(self.backends))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        if not self.seeds:
+            raise ValueError("an experiment needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError(f"duplicate seeds in {self.seeds}")
+
+    def replace(self, **changes) -> "ExperimentSpec":
+        return dataclasses.replace(self, **changes)
+
+    def dims(self, n_in: int) -> Tuple[int, ...]:
+        """Full layer tuple for a given input width."""
+        return (int(n_in),) + self.hidden + (self.n_classes,)
+
+    def to_dict(self) -> dict:
+        d = dataclasses.asdict(self)
+        d["hidden"] = list(self.hidden)
+        d["backends"] = list(self.backends)
+        d["seeds"] = list(self.seeds)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ExperimentSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+        return cls(**d)

@@ -1,0 +1,168 @@
+"""The on-disk run store: ``runs/<experiment>/<run_id>/``.
+
+Layout of one run directory::
+
+    runs/offline_accuracy/20260729-103015-ab12cd/
+        manifest.json     # spec + status + versions (written first)
+        records.jsonl     # one line per finished seed, appended atomically
+        checkpoints/      # <stem>.npz + <stem>.json per saved model
+
+``manifest.json`` is the source of truth for resuming: it embeds the full
+:class:`~repro.experiments.spec.ExperimentSpec`, so ``--resume`` never
+depends on the original command line.  ``records.jsonl`` is append-only;
+a seed counts as done once its ``status: "ok"`` line is on disk, which is
+what makes a killed run resumable without re-running finished seeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .spec import ExperimentSpec
+
+MANIFEST_NAME = "manifest.json"
+RECORDS_NAME = "records.jsonl"
+CHECKPOINT_DIR_NAME = "checkpoints"
+
+#: Bump when the run-directory layout changes.
+STORE_FORMAT_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class RunInfo:
+    """A located run: its directory plus the parsed manifest."""
+
+    experiment: str
+    run_id: str
+    path: Path
+    manifest: dict
+
+    @property
+    def status(self) -> str:
+        return self.manifest.get("status", "unknown")
+
+    def spec(self) -> ExperimentSpec:
+        return ExperimentSpec.from_dict(self.manifest["spec"])
+
+
+class RunStore:
+    """Reads and writes the ``runs/`` directory tree."""
+
+    def __init__(self, root="runs"):
+        self.root = Path(root)
+
+    # -- paths -----------------------------------------------------------
+
+    def run_dir(self, experiment: str, run_id: str) -> Path:
+        return self.root / experiment / run_id
+
+    # -- writing ---------------------------------------------------------
+
+    def create_run(self, spec: ExperimentSpec, run_id: str) -> RunInfo:
+        from .. import __version__
+
+        path = self.run_dir(spec.name, run_id)
+        if path.exists():
+            raise FileExistsError(f"run directory {path} already exists")
+        (path / CHECKPOINT_DIR_NAME).mkdir(parents=True)
+        manifest = {
+            "store_format_version": STORE_FORMAT_VERSION,
+            "repro_version": __version__,
+            "experiment": spec.name,
+            "run_id": run_id,
+            "spec": spec.to_dict(),
+            "status": "running",
+            "seeds": list(spec.seeds),
+        }
+        self._write_manifest(path, manifest)
+        (path / RECORDS_NAME).touch()
+        return RunInfo(spec.name, run_id, path, manifest)
+
+    def update_status(self, run: RunInfo, status: str) -> RunInfo:
+        manifest = dict(run.manifest)
+        manifest["status"] = status
+        self._write_manifest(run.path, manifest)
+        return RunInfo(run.experiment, run.run_id, run.path, manifest)
+
+    def append_record(self, run: RunInfo, record: dict) -> None:
+        with (run.path / RECORDS_NAME).open("a") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+
+    @staticmethod
+    def _write_manifest(path: Path, manifest: dict) -> None:
+        tmp = path / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        tmp.replace(path / MANIFEST_NAME)
+
+    # -- reading ---------------------------------------------------------
+
+    def list_runs(self, experiment: Optional[str] = None) -> List[RunInfo]:
+        """All runs (newest directory name last), optionally filtered."""
+        runs: List[RunInfo] = []
+        if not self.root.is_dir():
+            return runs
+        for exp_dir in sorted(self.root.iterdir()):
+            if not exp_dir.is_dir():
+                continue
+            if experiment is not None and exp_dir.name != experiment:
+                continue
+            for run_dir in sorted(exp_dir.iterdir()):
+                manifest_path = run_dir / MANIFEST_NAME
+                if not manifest_path.is_file():
+                    continue
+                manifest = json.loads(manifest_path.read_text())
+                runs.append(RunInfo(exp_dir.name, run_dir.name, run_dir,
+                                    manifest))
+        return runs
+
+    def find(self, run_id: str) -> RunInfo:
+        """Locate a run by id (or unique id prefix) across experiments."""
+        matches = [r for r in self.list_runs()
+                   if r.run_id == run_id or r.run_id.startswith(run_id)]
+        exact = [r for r in matches if r.run_id == run_id]
+        if exact:
+            return exact[0]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise KeyError(f"no run {run_id!r} under {self.root}")
+        raise KeyError(f"run id prefix {run_id!r} is ambiguous: "
+                       f"{[r.run_id for r in matches]}")
+
+    def latest(self, experiment: str,
+               unfinished_only: bool = False) -> RunInfo:
+        runs = self.list_runs(experiment)
+        if unfinished_only:
+            runs = [r for r in runs if r.status != "complete"]
+        if not runs:
+            kind = "unfinished " if unfinished_only else ""
+            raise KeyError(f"no {kind}runs of {experiment!r} under "
+                           f"{self.root}")
+        return runs[-1]
+
+    def records(self, run: RunInfo) -> List[dict]:
+        """Parsed ``records.jsonl`` lines (skips a torn trailing line)."""
+        path = run.path / RECORDS_NAME
+        out: List[dict] = []
+        if not path.is_file():
+            return out
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError:
+                # A run killed mid-write can leave a torn last line; every
+                # complete record before it is still valid.
+                continue
+        return out
+
+    def done_seeds(self, run: RunInfo) -> Dict[int, dict]:
+        """seed -> record for every seed with an ``ok`` record on disk."""
+        return {int(rec["seed"]): rec for rec in self.records(run)
+                if rec.get("status") == "ok"}

@@ -259,6 +259,44 @@ class LoihiEMSTDPTrainer:
             total += 1
         return correct / max(total, 1)
 
+    # -- checkpointing ------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Snapshot of the chip-resident trainable state.
+
+        The learned parameters live in the plastic connections' 8-bit
+        mantissas; everything else about the network (wiring, static
+        frontend weights, scale scheme) is reconstructed from the config by
+        :func:`repro.onchip.build_emstdp_network`, so a checkpoint restores
+        onto a freshly built trainer of the same ``dims``.
+        """
+        return {
+            "dims": tuple(self.model.dims),
+            "weight_mant": [c.weight_mant.copy()
+                            for c in self.model.plastic_connections],
+            "class_mask": self._class_mask.copy(),
+            "samples_trained": self.samples_trained,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        if tuple(int(d) for d in state["dims"]) != tuple(self.model.dims):
+            raise ValueError(
+                f"checkpoint dims {tuple(state['dims'])} != network dims "
+                f"{tuple(self.model.dims)}")
+        mants = state["weight_mant"]
+        conns = self.model.plastic_connections
+        if len(mants) != len(conns):
+            raise ValueError(
+                f"checkpoint has {len(mants)} plastic connections, "
+                f"network has {len(conns)}")
+        for conn, mant in zip(conns, mants):
+            conn.set_weights(np.asarray(mant, dtype=np.int64))
+        mask = np.asarray(state["class_mask"], dtype=bool)
+        if mask.shape != (self.model.dims[-1],):
+            raise ValueError("class_mask shape does not match output layer")
+        self.set_class_mask(list(np.flatnonzero(mask)))
+        self.samples_trained = int(state["samples_trained"])
+
     # -- reporting ----------------------------------------------------------------------
 
     def energy_report(self, model: Optional[EnergyModel] = None,

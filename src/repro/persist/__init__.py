@@ -1,0 +1,7 @@
+"""Versioned checkpoint persistence for every trainable model."""
+
+from .checkpoint import (CHECKPOINT_FORMAT_VERSION, CheckpointError,
+                         checkpoint_paths, load_checkpoint, save_checkpoint)
+
+__all__ = ["CHECKPOINT_FORMAT_VERSION", "CheckpointError", "checkpoint_paths",
+           "load_checkpoint", "save_checkpoint"]

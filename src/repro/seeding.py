@@ -1,0 +1,28 @@
+"""One definition of "seed -> generator" for the whole codebase.
+
+The data generators (and anything else that accepts a seed-or-generator
+argument) funnel through :func:`as_rng`; the experiment runner hands each
+worker its plain integer seed and stores it in the run record, so every
+stream a run drew can be reproduced from ``records.jsonl`` alone.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+#: Anything :func:`as_rng` accepts.
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    An existing generator passes through untouched (so callers can thread
+    one stream through helpers); an ``int`` (or ``None`` for OS entropy)
+    seeds a fresh PCG64 generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

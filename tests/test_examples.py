@@ -1,0 +1,51 @@
+"""Smoke coverage for the example scripts.
+
+Each example is a thin wrapper over an :class:`ExperimentSpec`; importing
+one must be side-effect free, and the quickstart spec must run end-to-end
+on tiny sizes in well under 30 s.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import Runner, get_scenario
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_NAMES = ["quickstart", "online_learning_mnist",
+                 "incremental_learning", "mapping_tradeoff", "mstar_sar"]
+
+
+def _load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLE_NAMES)
+def test_example_imports_cleanly_and_exposes_main(name):
+    module = _load_example(name)
+    assert callable(module.main)
+    # thin-wrapper contract: every example drives the runner, not ad-hoc
+    # training loops
+    assert hasattr(module, "Runner")
+
+
+def test_quickstart_spec_end_to_end_tiny(tmp_path):
+    """The quickstart spec (rate + chip backends) runs end to end."""
+    spec = get_scenario("offline_accuracy").build_spec(tiny=True).replace(
+        backends=("rate", "chip"), seeds=(1,))
+    result = Runner(out_root=tmp_path, max_workers=1).run(spec)
+    assert result.status == "complete"
+    metrics = result.ok_records()[0]["metrics"]
+    assert set(metrics) == {"rate", "chip"}
+    assert metrics["chip"]["cores_used"] > 0
+    assert (result.run_dir / "checkpoints" / "seed1-chip.json").is_file()

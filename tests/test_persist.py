@@ -1,0 +1,155 @@
+"""Checkpoint round trips: save -> load must be bit-identical.
+
+Covers the three trainable model families the ``repro.persist`` layer
+supports — the full-precision :class:`EMSTDPNetwork` (both dynamics
+backends), the :class:`BackpropMLP` baseline, and the simulated-chip
+:class:`LoihiEMSTDPTrainer` — plus the manifest/versioning contract.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines import BackpropMLP
+from repro.core import EMSTDPNetwork, full_precision_config, loihi_default_config
+from repro.data.synth import make_blobs
+from repro.onchip import LoihiEMSTDPTrainer, build_emstdp_network
+from repro.persist import (CHECKPOINT_FORMAT_VERSION, CheckpointError,
+                           checkpoint_paths, load_checkpoint, save_checkpoint)
+
+DIMS = (12, 10, 4)
+
+
+def _task(seed=3, n=40):
+    return make_blobs(DIMS[0], DIMS[-1], n, seed=seed)
+
+
+def _trained_emstdp(dynamics="rate"):
+    net = EMSTDPNetwork(DIMS, full_precision_config(
+        seed=1, dynamics=dynamics, phase_length=8))
+    xs, ys = _task()
+    net.train_stream(xs[:20], ys[:20])
+    return net
+
+
+@pytest.mark.parametrize("dynamics", ["rate", "spike"])
+def test_emstdp_round_trip_bit_identical(tmp_path, dynamics):
+    net = _trained_emstdp(dynamics)
+    xs, _ = _task(seed=9)
+    before = [net.predict(x) for x in xs]
+
+    save_checkpoint(net, tmp_path / "net")
+    fresh = EMSTDPNetwork(DIMS, full_precision_config(
+        seed=77, dynamics=dynamics, phase_length=8))  # different init
+    load_checkpoint(tmp_path / "net", model=fresh)
+
+    assert [fresh.predict(x) for x in xs] == before
+    for w_a, w_b in zip(net.weights, fresh.weights):
+        np.testing.assert_array_equal(w_a, w_b)
+    for b_a, b_b in zip(net.feedback_weights, fresh.feedback_weights):
+        np.testing.assert_array_equal(b_a, b_b)
+    assert fresh.samples_seen == net.samples_seen
+
+
+def test_backprop_round_trip_bit_identical(tmp_path):
+    model = BackpropMLP(DIMS, lr=0.1, seed=2)
+    xs, ys = _task()
+    model.train_stream(xs[:20], ys[:20])
+    logits_before = model._forward_batch(xs)[-1]
+
+    save_checkpoint(model, tmp_path / "mlp")
+    fresh = BackpropMLP(DIMS, lr=0.5, seed=99)
+    load_checkpoint(tmp_path / "mlp", model=fresh)
+
+    np.testing.assert_array_equal(fresh._forward_batch(xs)[-1],
+                                  logits_before)
+    assert fresh.lr == 0.1
+
+
+def test_loihi_trainer_round_trip_bit_identical(tmp_path):
+    cfg = loihi_default_config(seed=4, phase_length=8,
+                               learning_rate=2.0 ** -4, error_gain=2.0)
+    trainer = LoihiEMSTDPTrainer(build_emstdp_network(DIMS, cfg))
+    xs, ys = _task()
+    trainer.train_stream(xs[:10], ys[:10])
+    rates_before = np.stack([trainer.infer(x) for x in xs[:8]])
+
+    save_checkpoint(trainer, tmp_path / "chip")
+    fresh = LoihiEMSTDPTrainer(build_emstdp_network(DIMS, cfg.replace(seed=55)))
+    load_checkpoint(tmp_path / "chip", model=fresh)
+
+    np.testing.assert_array_equal(
+        np.stack([fresh.infer(x) for x in xs[:8]]), rates_before)
+    assert fresh.samples_trained == trainer.samples_trained
+
+
+def test_class_mask_survives_round_trip(tmp_path):
+    net = _trained_emstdp()
+    net.set_class_mask([0, 2])
+    save_checkpoint(net, tmp_path / "masked")
+    fresh = EMSTDPNetwork(DIMS, full_precision_config(seed=5,
+                                                      phase_length=8))
+    load_checkpoint(tmp_path / "masked", model=fresh)
+    np.testing.assert_array_equal(fresh.class_mask, net.class_mask)
+
+
+def test_dotted_stem_keeps_its_name(tmp_path):
+    npz_path, json_path = checkpoint_paths(tmp_path / "model-v1.2")
+    assert npz_path.name == "model-v1.2.npz"
+    assert json_path.name == "model-v1.2.json"
+    net = _trained_emstdp()
+    save_checkpoint(net, tmp_path / "model-v1.2")
+    state, _ = load_checkpoint(tmp_path / "model-v1.2")
+    assert tuple(state["dims"]) == DIMS
+
+
+def test_manifest_contents_and_meta(tmp_path):
+    net = _trained_emstdp()
+    manifest_path = save_checkpoint(net, tmp_path / "net",
+                                    meta={"seed": 7, "experiment": "x"})
+    npz_path, json_path = checkpoint_paths(tmp_path / "net")
+    assert manifest_path == json_path and npz_path.exists()
+    manifest = json.loads(json_path.read_text())
+    assert manifest["format_version"] == CHECKPOINT_FORMAT_VERSION
+    assert manifest["repro_version"] == repro.__version__
+    assert manifest["model_class"] == "EMSTDPNetwork"
+    assert manifest["meta"] == {"seed": 7, "experiment": "x"}
+
+
+def test_wrong_model_class_rejected(tmp_path):
+    save_checkpoint(_trained_emstdp(), tmp_path / "net")
+    with pytest.raises(CheckpointError, match="EMSTDPNetwork"):
+        load_checkpoint(tmp_path / "net", model=BackpropMLP(DIMS))
+
+
+def test_dims_mismatch_rejected(tmp_path):
+    save_checkpoint(_trained_emstdp(), tmp_path / "net")
+    other = EMSTDPNetwork((12, 6, 4), full_precision_config(phase_length=8))
+    with pytest.raises(ValueError, match="dims"):
+        load_checkpoint(tmp_path / "net", model=other)
+
+
+def test_future_format_version_rejected(tmp_path):
+    save_checkpoint(_trained_emstdp(), tmp_path / "net")
+    _, json_path = checkpoint_paths(tmp_path / "net")
+    manifest = json.loads(json_path.read_text())
+    manifest["format_version"] = CHECKPOINT_FORMAT_VERSION + 1
+    json_path.write_text(json.dumps(manifest))
+    with pytest.raises(CheckpointError, match="newer"):
+        load_checkpoint(tmp_path / "net")
+
+
+def test_missing_checkpoint_rejected(tmp_path):
+    with pytest.raises(CheckpointError, match="no checkpoint"):
+        load_checkpoint(tmp_path / "nope")
+
+
+def test_load_without_model_returns_state(tmp_path):
+    net = _trained_emstdp()
+    save_checkpoint(net, tmp_path / "net")
+    state, manifest = load_checkpoint(tmp_path / "net")
+    assert tuple(state["dims"]) == DIMS
+    assert len(state["weights"]) == len(net.weights)
+    assert manifest["model_class"] == "EMSTDPNetwork"
