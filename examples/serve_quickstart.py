@@ -1,0 +1,84 @@
+"""Serving quickstart: train a tiny model, serve it over HTTP, load-test it.
+
+End-to-end walk through ``repro.serve``:
+
+1. train a small EMSTDP network and save a ``repro.persist`` checkpoint;
+2. load it into a :class:`ModelRegistry` and start the micro-batching
+   :class:`InferenceService` plus the stdlib HTTP endpoint;
+3. fire a closed-loop load run (many client threads, repeated inputs) at
+   ``POST /predict`` through :mod:`repro.serve.loadgen`;
+4. print the ``/metrics`` payload highlights — latency percentiles,
+   batch-size histogram, cache hit rate, modeled energy per request —
+   and shut everything down cleanly.
+
+This doubles as the CI ``serve-smoke`` script: it asserts non-zero cache
+hits, zero request errors, and a clean shutdown, and exits non-zero
+otherwise.
+
+Run:  PYTHONPATH=src python examples/serve_quickstart.py [--tiny]
+      (--tiny shrinks the load run for CI; the default takes ~30 s)
+"""
+
+import sys
+
+from repro.core import EMSTDPNetwork, full_precision_config
+from repro.data import make_blobs
+from repro.persist import save_checkpoint
+from repro.serve import (InferenceHTTPServer, InferenceService, ModelRegistry,
+                         http_predict_fn, run_load)
+
+
+def main(tiny: bool = False) -> int:
+    n_requests = 200 if tiny else 1000
+    dims = (32, 24, 6)
+
+    print(f"training a {dims} EMSTDP network...")
+    net = EMSTDPNetwork(dims, full_precision_config(seed=1, phase_length=16))
+    xs, ys = make_blobs(dims[0], dims[-1], 300, seed=0)
+    train_acc = net.train_stream(xs[:200], ys[:200])
+    print(f"  online training accuracy: {train_acc:.2f}")
+
+    stem = "runs/serve-quickstart/ckpt/blobs-net"
+    save_checkpoint(net, stem, meta={"example": "serve_quickstart"})
+    print(f"  checkpoint: {stem}.npz / .json")
+
+    registry = ModelRegistry()
+    registry.load(stem, name="blobs-net")
+    service = InferenceService(registry, max_batch=16, max_wait_ms=5.0,
+                               cache_size=256)
+    server = InferenceHTTPServer(service, port=0).start()
+    print(f"serving at {server.url}  (POST /predict, GET /healthz, "
+          f"GET /metrics)")
+
+    try:
+        report = run_load(http_predict_fn(server.url), xs[:40],
+                          n_requests=n_requests, n_clients=8)
+        metrics = service.metrics()
+    finally:
+        server.stop()
+        service.shutdown()
+
+    print(f"\nload run: {report.requests} requests from "
+          f"{report.n_clients} clients in {report.duration_s:.2f}s "
+          f"-> {report.throughput_rps:.0f} rps")
+    lat = metrics["latency_ms"]
+    print(f"latency (ms): p50 {lat['p50']:.2f}  p95 {lat['p95']:.2f}  "
+          f"p99 {lat['p99']:.2f}")
+    print(f"batch sizes: {metrics['batch_size_histogram']} "
+          f"(mean {metrics['mean_batch_size']:.1f})")
+    cache = metrics["cache"]
+    print(f"cache: {cache['hits']} hits / {cache['misses']} misses "
+          f"(hit rate {cache['hit_rate']:.2f})")
+    print(f"energy: {metrics['energy_mj_per_request']:.3f} mJ/request "
+          f"modeled ({metrics['energy_mj_total']:.1f} mJ total)")
+
+    # The CI smoke contract: real traffic, warm cache, clean shutdown.
+    assert report.errors == 0, f"{report.errors} request(s) failed"
+    assert cache["hits"] > 0, "repeated inputs produced no cache hits"
+    assert service.closed, "service did not shut down"
+    print("\nclean shutdown — all good")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(tiny="--tiny" in sys.argv))

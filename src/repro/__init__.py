@@ -28,6 +28,10 @@ Subpackages
 ``repro.experiments``
     Config-driven experiment orchestration: declarative specs, a seed
     fan-out runner, and a ``runs/`` store; drives ``python -m repro``.
+``repro.serve``
+    Micro-batching inference service: model registry with hot-swap,
+    prediction cache, HTTP endpoint, telemetry, and a load-test harness;
+    drives ``python -m repro serve``.
 """
 
 try:  # installed package: single source of truth is the distribution metadata
@@ -38,9 +42,9 @@ except Exception:  # running from a source tree (PYTHONPATH=src)
     __version__ = "1.0.0"
 
 from . import (analysis, baselines, core, data, experiments, incremental,
-               loihi, models, onchip, persist)
+               loihi, models, onchip, persist, serve)
 from .seeding import as_rng
 
 __all__ = ["analysis", "baselines", "core", "data", "experiments",
-           "incremental", "loihi", "models", "onchip", "persist",
+           "incremental", "loihi", "models", "onchip", "persist", "serve",
            "as_rng", "__version__"]

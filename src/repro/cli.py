@@ -1,4 +1,4 @@
-"""``python -m repro`` — run, list, show, and compare experiments.
+"""``python -m repro`` — run, list, show, compare, and serve experiments.
 
 Subcommands::
 
@@ -7,14 +7,19 @@ Subcommands::
         print its results table.  ``--resume`` without an id picks the
         newest unfinished run of the scenario; finished seeds are skipped.
     list
-        Table of every run in the store (status, seeds done, version).
+        Table of every run in the store (status, seeds done, version),
+        most recent first.
     show <run_id>
         The per-seed results table of one run (id prefixes work).
     compare <run_id> [<run_id> ...]
         Mean numeric metrics of several runs side by side.
+    serve <checkpoint> [--port P] [--max-batch N] [--max-wait-ms F]
+        Micro-batching JSON inference endpoint over a checkpoint stem, a
+        directory of checkpoints, or a run id (serves every checkpoint of
+        that run).  Routes: POST /predict, GET /healthz, GET /metrics.
 
-All output renders through :mod:`repro.analysis.reporting`, the same
-dependency-free table formatter the benchmarks use.
+All table output renders through :mod:`repro.analysis.reporting`, the same
+dependency-free formatter the benchmarks use.
 """
 
 from __future__ import annotations
@@ -23,17 +28,30 @@ import argparse
 import sys
 from typing import Dict, List, Optional, Sequence
 
+from . import __version__
 from .analysis.reporting import format_table
 from .experiments import Runner, RunStore, get_scenario
 from .experiments.scenarios import SCENARIOS
 from .experiments.store import RunInfo
 
+EPILOG = """examples:
+  python -m repro run offline_accuracy --tiny --seeds 2
+  python -m repro list
+  python -m repro show <run_id>
+  python -m repro serve <run_id>                 # serve a run's checkpoints
+  python -m repro serve ckpt/model --port 8100   # serve one checkpoint stem
+"""
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="EMSTDP experiment orchestration "
-                    f"(scenarios: {', '.join(sorted(SCENARIOS))})")
+        description="EMSTDP experiment orchestration and serving "
+                    f"(scenarios: {', '.join(sorted(SCENARIOS))})",
+        epilog=EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run a scenario over a seed fan-out")
@@ -70,6 +88,27 @@ def build_parser() -> argparse.ArgumentParser:
                           help="mean metrics of several runs side by side")
     cmp_.add_argument("run_ids", nargs="+", metavar="run_id")
     cmp_.add_argument("--out", default="runs")
+
+    serve = sub.add_parser(
+        "serve", help="micro-batching JSON inference endpoint over "
+                      "checkpointed models")
+    serve.add_argument("checkpoint",
+                       help="checkpoint stem, directory of checkpoints, or "
+                            "run id (serves every checkpoint of the run)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8100,
+                       help="listen port (0 = ephemeral; default 8100)")
+    serve.add_argument("--max-batch", type=int, default=32, metavar="N",
+                       help="flush a micro-batch at this size (default 32)")
+    serve.add_argument("--max-wait-ms", type=float, default=5.0, metavar="F",
+                       help="flush at the latest this long after the first "
+                            "queued request (default 5 ms)")
+    serve.add_argument("--cache-size", type=int, default=1024, metavar="N",
+                       help="LRU prediction-cache capacity (0 disables)")
+    serve.add_argument("--workers", type=int, default=1, metavar="W",
+                       help="batch-execution worker threads (default 1)")
+    serve.add_argument("--out", default="runs",
+                       help="run-store root used to resolve run ids")
     return parser
 
 
@@ -84,6 +123,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_show(args)
         if args.command == "compare":
             return _cmd_compare(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -133,6 +174,10 @@ def _cmd_list(args) -> int:
         print(f"no runs under {store.root}/ "
               f"(start one with: python -m repro run <scenario>)")
         return 0
+    # Run ids start with a YYYYmmdd-HHMMSS stamp, so lexicographic order is
+    # chronological; sorted() is stable, so same-second runs keep the
+    # store's (experiment, directory) order.
+    runs = sorted(runs, key=lambda run: run.run_id, reverse=True)
     rows = []
     for run in runs:
         total = len(run.manifest.get("seeds", []))
@@ -198,6 +243,45 @@ def _cmd_compare(args) -> int:
                     [m.get(c, "") for c in columns])
     print(format_table(["run"] + columns, rows,
                        title="mean metrics per run"))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# serve
+# ---------------------------------------------------------------------------
+
+def _cmd_serve(args) -> int:
+    from .persist import CheckpointError
+    from .serve import InferenceHTTPServer, InferenceService, ModelRegistry
+
+    registry = ModelRegistry()
+    try:
+        entries = registry.load_source(args.checkpoint, store_root=args.out)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service = InferenceService(
+        registry, max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        cache_size=args.cache_size, workers=args.workers)
+    server = InferenceHTTPServer(service, host=args.host, port=args.port)
+    print(format_table(
+        ["name", "class", "dims", "energy (mJ/req)"],
+        [[e.name, e.model_class, "x".join(map(str, e.dims)),
+          round(e.energy_mj_per_request, 3)] for e in entries],
+        title=f"serving {len(entries)} model(s) at {server.url}"))
+    default = registry.resolve()
+    print(f"\ndefault model: {default.name} ({default.version})")
+    print(f"  curl -X POST {server.url}/predict "
+          "-d '{\"input\": [...], \"model\": \"<name>\"}'")
+    print(f"  curl {server.url}/healthz\n  curl {server.url}/metrics")
+    print("Ctrl-C to stop")
+    try:
+        server.serve_until_interrupt()
+    finally:
+        service.shutdown()
+        snap = service.metrics()
+        print(f"\nserved {snap['requests']} request(s), "
+              f"cache hit rate {snap['cache']['hit_rate']:.2f}")
     return 0
 
 

@@ -654,9 +654,19 @@ class EMSTDPNetwork:
         self.class_mask = np.ones(self.n_classes, dtype=bool)
 
     def state_dict(self) -> Dict[str, object]:
-        """Snapshot of everything needed to restore the model."""
+        """Snapshot of everything needed to restore the model.
+
+        The hyper-parameter config rides along so a checkpoint is
+        self-describing: :class:`repro.serve.ModelRegistry` rebuilds the
+        exact network (phase length, feedback mode, bias neuron, ...) from
+        the checkpoint alone.  ``load_state_dict`` ignores the entry — the
+        target object keeps its own config.
+        """
+        import dataclasses
+
         return {
             "dims": self.dims,
+            "config": dataclasses.asdict(self.config),
             "weights": [w.copy() for w in self.weights],
             "feedback_weights": [b.copy() for b in self.feedback_weights],
             "class_mask": self.class_mask.copy(),

@@ -22,6 +22,7 @@ Inference runs phase 1 only and reads the output spike counters.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from typing import Dict, List, Optional, Sequence
 
@@ -272,6 +273,7 @@ class LoihiEMSTDPTrainer:
         """
         return {
             "dims": tuple(self.model.dims),
+            "config": dataclasses.asdict(self.model.config),
             "weight_mant": [c.weight_mant.copy()
                             for c in self.model.plastic_connections],
             "class_mask": self._class_mask.copy(),

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -37,20 +37,27 @@ class CheckpointError(RuntimeError):
     """A checkpoint could not be written, read, or applied."""
 
 
-def checkpoint_paths(stem) -> Tuple[Path, Path]:
+def checkpoint_paths(stem: Union[str, Path]) -> Tuple[Path, Path]:
     """The ``(npz, json)`` file pair behind checkpoint ``stem``.
 
-    The extensions are appended, not substituted: a stem like
+    ``stem`` may be a ``str`` or a :class:`~pathlib.Path`; a stem that
+    already carries one of the pair's extensions (``ckpt/model.npz`` or
+    ``ckpt/model.json``) resolves to the same pair as the bare stem, so
+    tab-completed file names work everywhere a stem is accepted.  Other
+    extensions are appended, not substituted: a stem like
     ``ckpt/model-v1.2`` keeps its dot instead of being truncated the way
     ``Path.with_suffix`` would.
     """
     stem = Path(stem)
-    return (stem.parent / (stem.name + ".npz"),
-            stem.parent / (stem.name + ".json"))
+    name = stem.name
+    if name.endswith((".npz", ".json")):
+        name = name.rsplit(".", 1)[0]
+    return (stem.parent / (name + ".npz"),
+            stem.parent / (name + ".json"))
 
 
-def save_checkpoint(model, stem, meta: Optional[Dict[str, object]] = None,
-                    ) -> Path:
+def save_checkpoint(model, stem: Union[str, Path],
+                    meta: Optional[Dict[str, object]] = None) -> Path:
     """Write ``model.state_dict()`` to ``<stem>.npz`` + ``<stem>.json``.
 
     Returns the manifest path.  ``meta`` is stored verbatim under the
@@ -87,15 +94,23 @@ def save_checkpoint(model, stem, meta: Optional[Dict[str, object]] = None,
     return json_path
 
 
-def load_checkpoint(stem, model=None) -> Tuple[Dict[str, object], dict]:
+def load_checkpoint(stem: Union[str, Path], model=None,
+                    ) -> Tuple[Dict[str, object], dict]:
     """Read a checkpoint; returns ``(state_dict, manifest)``.
 
     When ``model`` is given, the checkpoint is also applied via
     ``model.load_state_dict`` after checking that the manifest's model
-    class matches ``type(model).__name__``.
+    class matches ``type(model).__name__``.  A missing half of the pair —
+    whichever of ``<stem>.json`` / ``<stem>.npz`` is absent — raises
+    :class:`CheckpointError` naming the missing file, never a raw
+    ``FileNotFoundError``.
     """
     npz_path, json_path = checkpoint_paths(stem)
     if not json_path.exists():
+        if npz_path.exists():
+            raise CheckpointError(
+                f"array file {npz_path} has no manifest {json_path} "
+                f"(checkpoints are .npz/.json pairs)")
         raise CheckpointError(f"no checkpoint manifest at {json_path}")
     if not npz_path.exists():
         raise CheckpointError(f"manifest {json_path} has no array file "

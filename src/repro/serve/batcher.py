@@ -1,0 +1,194 @@
+"""Micro-batching request scheduler.
+
+Single-sample prediction requests arrive concurrently from many client
+threads; dispatching each one alone through ``predict_batch`` wastes the
+batched engine (the whole point of PR 1 is that a ``(B, n_in)`` block costs
+barely more than one sample).  The :class:`MicroBatcher` closes the gap: a
+collector thread accumulates queued requests into one batch and flushes it
+
+* **on full** — the batch reached ``max_batch``, or
+* **on deadline** — ``max_wait_ms`` elapsed since the *first* request of
+  the forming batch entered the queue (so a lone request never waits more
+  than one deadline, and a trickle of requests still coalesces).
+
+After a deadline expires the collector also greedily drains whatever is
+already queued (non-blocking, up to ``max_batch``), so a backlog produces
+full batches instead of degenerating into batch-of-one flushes.
+
+Flushed batches are handed to a worker pool (``workers`` threads) that
+stacks the samples, calls the runner once, and resolves each request's
+future with its own row plus scheduling telemetry (batch size, queue wait).
+``close()`` is graceful: no new requests are accepted, everything already
+queued is still batched and answered, and the workers are joined.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class ItemResult:
+    """What a request's future resolves to."""
+
+    value: object
+    batch_size: int
+    queue_ms: float
+
+
+@dataclasses.dataclass
+class _Pending:
+    x: np.ndarray
+    future: Future
+    enqueued: float
+
+
+class MicroBatcher:
+    """Accumulates concurrent single-sample requests into batches.
+
+    Parameters
+    ----------
+    runner:
+        ``(B, n_in) array -> length-B sequence`` — typically a model's
+        ``predict_batch``.  Called from worker threads; must be thread-safe
+        for read-only inference (NumPy forward passes are).
+    max_batch:
+        Flush as soon as this many requests have accumulated.
+    max_wait_ms:
+        Flush at the latest this long after the first queued request of the
+        batch, even if the batch is not full.
+    workers:
+        Worker threads executing flushed batches (batches run concurrently
+        when > 1; request order within a batch is always preserved).
+    """
+
+    def __init__(self, runner: Callable[[np.ndarray], Sequence],
+                 max_batch: int = 32, max_wait_ms: float = 5.0,
+                 workers: int = 1):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self.runner = runner
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_ms) / 1e3
+        self._queue: "queue.Queue[_Pending]" = queue.Queue()
+        self._closing = threading.Event()
+        # Serializes the closing-flag check against the enqueue: without
+        # it, a submit() racing close() could land its request after the
+        # collector drained the queue, leaving the future unresolved.
+        self._submit_lock = threading.Lock()
+        self._lock = threading.Lock()
+        self.batches_dispatched = 0
+        self.requests_done = 0
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(int(workers), 1),
+            thread_name_prefix="microbatch-worker")
+        self._collector = threading.Thread(
+            target=self._collect, name="microbatch-collector", daemon=True)
+        self._collector.start()
+
+    # -- client side -----------------------------------------------------
+
+    def submit(self, x: np.ndarray) -> "Future[ItemResult]":
+        """Enqueue one sample; resolves to an :class:`ItemResult`."""
+        pending = _Pending(np.asarray(x, dtype=float), Future(),
+                           time.monotonic())
+        with self._submit_lock:
+            if self._closing.is_set():
+                raise RuntimeError("MicroBatcher is closed")
+            self._queue.put(pending)
+        return pending.future
+
+    def pending(self) -> int:
+        """Requests queued but not yet dispatched."""
+        return self._queue.qsize()
+
+    # -- collector thread ------------------------------------------------
+
+    def _collect(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.02)
+            except queue.Empty:
+                if not self._closing.is_set():
+                    continue
+                # Closing: no further enqueues are possible (submit and
+                # close share a lock), so one final non-blocking check
+                # completes the drain even if a request landed between the
+                # timed-out get above and the flag becoming visible.
+                try:
+                    first = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+            batch = [first]
+            deadline = first.enqueued + self.max_wait_s
+            while len(batch) < self.max_batch and not self._closing.is_set():
+                timeout = deadline - time.monotonic()
+                if timeout <= 0:
+                    break
+                try:
+                    batch.append(self._queue.get(timeout=timeout))
+                except queue.Empty:
+                    break
+            # Deadline passed (or closing): top the batch up from whatever
+            # is already queued so a backlog still flushes full batches.
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            with self._lock:
+                self.batches_dispatched += 1
+            self._pool.submit(self._run_batch, batch)
+        self._pool.shutdown(wait=True)
+
+    # -- worker side -----------------------------------------------------
+
+    def _run_batch(self, batch: List[_Pending]) -> None:
+        dispatched = time.monotonic()
+        try:
+            values = self.runner(np.stack([p.x for p in batch]))
+        except Exception as exc:  # propagate to every caller in the batch
+            for p in batch:
+                p.future.set_exception(exc)
+            return
+        if len(values) != len(batch):
+            exc = RuntimeError(
+                f"runner returned {len(values)} results for a batch of "
+                f"{len(batch)}")
+            for p in batch:
+                p.future.set_exception(exc)
+            return
+        for p, value in zip(batch, values):
+            p.future.set_result(ItemResult(
+                value=value, batch_size=len(batch),
+                queue_ms=(dispatched - p.enqueued) * 1e3))
+        with self._lock:
+            self.requests_done += len(batch)
+
+    # -- shutdown --------------------------------------------------------
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: drain queued requests, then join the workers.
+
+        Requests already submitted are still batched and answered; new
+        ``submit`` calls raise.  Safe to call more than once.
+        """
+        with self._submit_lock:
+            # Once the flag is set under the lock no further enqueue can
+            # happen, so everything in the queue predates it and the
+            # collector is guaranteed to drain it before exiting.
+            self._closing.set()
+        self._collector.join(timeout)
+
+    @property
+    def closed(self) -> bool:
+        return self._closing.is_set()

@@ -1,0 +1,101 @@
+"""LRU cache of predictions, keyed by input digest + model version.
+
+Serving workloads repeat inputs (health probes, hot rows, retries); a
+phase-1 inference pass is deterministic for a fixed set of weights, so the
+(model name, model version, input digest) triple fully determines the
+prediction and can be cached.  The version component is what keeps a
+hot-swap correct: swapping in new weights under the same model name bumps
+the version, so every cached prediction of the old weights simply stops
+being addressable (and :meth:`PredictionCache.invalidate` reclaims the
+space eagerly).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
+
+CacheKey = Tuple[str, str, str]
+
+
+def input_digest(x: np.ndarray) -> str:
+    """Content digest of one input sample (dtype/shape canonicalized)."""
+    arr = np.ascontiguousarray(np.asarray(x, dtype=np.float64))
+    h = hashlib.sha1(arr.tobytes())
+    h.update(str(arr.shape).encode())
+    return h.hexdigest()
+
+
+class PredictionCache:
+    """Thread-safe LRU map ``(model, version, input digest) -> prediction``.
+
+    ``capacity=0`` disables caching (every lookup misses, nothing is
+    stored), which is how the service exposes a cache-off mode without a
+    second code path.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(x: np.ndarray, model: str, version: str) -> CacheKey:
+        return (model, version, input_digest(x))
+
+    def get(self, key: CacheKey) -> Optional[object]:
+        """The cached prediction, or ``None`` (a miss); refreshes recency."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: CacheKey, value: object) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, model: Optional[str] = None) -> int:
+        """Drop entries of ``model`` (all entries when ``None``); returns count."""
+        with self._lock:
+            if model is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                return dropped
+            stale = [k for k in self._entries if k[0] == model]
+            for k in stale:
+                del self._entries[k]
+            return len(stale)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }

@@ -1,0 +1,155 @@
+"""Stdlib JSON-over-HTTP front for the inference service.
+
+No framework, no dependencies: a ``ThreadingHTTPServer`` whose handler
+translates three routes onto :class:`~repro.serve.service.InferenceService`
+calls —
+
+``POST /predict``
+    Body ``{"input": [...], "model": "...", "version": "..."}`` (model and
+    version optional; ``"inputs": [[...], ...]`` answers a list in one
+    request).  Response is the service's prediction dict (or a list of
+    them).
+``GET /healthz``
+    Liveness: status, model count, request count, uptime.
+``GET /metrics``
+    The full telemetry payload: latency percentiles, batch-size histogram,
+    cache hit rate, per-request energy, model listing.
+
+Each HTTP connection is handled on its own thread, so concurrent clients
+land in the micro-batcher together — the HTTP layer adds no serialization
+of its own.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from .service import InferenceService
+
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: InferenceService  # injected by the server factory
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # quiet by default
+        pass
+
+    def _send_json(self, payload, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    # -- routes ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path == "/healthz":
+            self._send_json(self.service.healthz())
+        elif self.path == "/metrics":
+            self._send_json(self.service.metrics())
+        else:
+            self._send_error_json(404, f"no route {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path != "/predict":
+            self._send_error_json(404, f"no route {self.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            if length > MAX_BODY_BYTES:
+                self._send_error_json(413, "request body too large")
+                return
+            request = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, TypeError) as exc:
+            self._send_error_json(400, f"bad JSON body: {exc}")
+            return
+        if not isinstance(request, dict):
+            self._send_error_json(
+                400, f"body must be a JSON object, got "
+                     f"{type(request).__name__}")
+            return
+        model = request.get("model")
+        version = request.get("version")
+        try:
+            if "inputs" in request:
+                payload = self.service.predict_many(
+                    request["inputs"], model=model, version=version)
+            elif "input" in request:
+                payload = self.service.predict(request["input"], model=model,
+                                               version=version)
+            else:
+                self._send_error_json(
+                    400, 'body needs "input" (one sample) or "inputs" '
+                         '(a list of samples)')
+                return
+        except KeyError as exc:  # unknown model/version
+            self._send_error_json(404, str(exc.args[0]))
+            return
+        except Exception as exc:  # model raised / shapes wrong / shut down
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+            return
+        self._send_json(payload)
+
+
+class InferenceHTTPServer:
+    """Owns the listening socket and its serve thread.
+
+    ``port=0`` binds an ephemeral port (the real one is in ``.port`` after
+    construction), which is what the tests and the load harness use.
+    """
+
+    def __init__(self, service: InferenceService, host: str = "127.0.0.1",
+                 port: int = 8100):
+        handler = type("BoundHandler", (_Handler,), {"service": service})
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "InferenceHTTPServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="serve-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting connections; the service itself is left running."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def serve_until_interrupt(self) -> None:
+        """Foreground mode for the CLI: Ctrl-C stops cleanly."""
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self._httpd.server_close()

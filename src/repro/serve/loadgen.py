@@ -1,0 +1,142 @@
+"""Closed-loop load generator for the serving stack.
+
+``n_clients`` threads each issue their share of requests back-to-back (a
+*closed loop*: the next request starts when the previous answer arrives —
+throughput is therefore limited by service latency, exactly the regime
+micro-batching improves).  Works against either target kind:
+
+* in-process — pass ``service_predict_fn(service)`` (or any callable
+  taking one sample);
+* over HTTP — pass ``http_predict_fn(url)``, which POSTs ``/predict`` with
+  stdlib ``urllib`` only.
+
+Returns a :class:`LoadReport` with throughput, client-side latency
+percentiles, and error/cache counts — what the serving benchmark asserts
+its >= 3x speedup on and what the CI smoke job prints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import time
+import urllib.request
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .telemetry import percentile
+
+
+@dataclasses.dataclass
+class LoadReport:
+    """Aggregated result of one closed-loop load run."""
+
+    requests: int
+    errors: int
+    duration_s: float
+    throughput_rps: float
+    latency_ms: Dict[str, float]
+    cache_hits: int
+    n_clients: int
+
+    def row(self) -> dict:
+        return {
+            "clients": self.n_clients,
+            "requests": self.requests,
+            "rps": round(self.throughput_rps, 1),
+            "p50 (ms)": round(self.latency_ms["p50"], 2),
+            "p99 (ms)": round(self.latency_ms["p99"], 2),
+            "errors": self.errors,
+        }
+
+
+def service_predict_fn(service, model: Optional[str] = None,
+                       version: Optional[str] = None) -> Callable:
+    """In-process target: calls ``service.predict`` directly."""
+    def fn(x):
+        return service.predict(x, model=model, version=version)
+    return fn
+
+
+def http_predict_fn(url: str, model: Optional[str] = None,
+                    version: Optional[str] = None,
+                    timeout: float = 30.0) -> Callable:
+    """HTTP target: POSTs each sample to ``<url>/predict``."""
+    def fn(x):
+        body: dict = {"input": np.asarray(x, dtype=float).tolist()}
+        if model is not None:
+            body["model"] = model
+        if version is not None:
+            body["version"] = version
+        request = urllib.request.Request(
+            url.rstrip("/") + "/predict", data=json.dumps(body).encode(),
+            headers={"Content-Type": "application/json"}, method="POST")
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return json.loads(resp.read())
+    return fn
+
+
+def run_load(predict_fn: Callable, samples: Sequence,
+             n_requests: int = 200, n_clients: int = 8) -> LoadReport:
+    """Fire ``n_requests`` through ``predict_fn`` from ``n_clients`` threads.
+
+    Requests cycle through ``samples`` round-robin (repeats are deliberate
+    — they exercise the prediction cache).  Client threads start together
+    on a barrier so the measured window only contains steady-state load.
+    """
+    samples = [np.asarray(s, dtype=float) for s in samples]
+    if not samples:
+        raise ValueError("need at least one sample to send")
+    n_clients = max(1, min(int(n_clients), int(n_requests)))
+    shares = [n_requests // n_clients] * n_clients
+    for i in range(n_requests % n_clients):
+        shares[i] += 1
+
+    latencies: List[List[float]] = [[] for _ in range(n_clients)]
+    errors = [0] * n_clients
+    cache_hits = [0] * n_clients
+    barrier = threading.Barrier(n_clients + 1)
+
+    def client(idx: int, share: int) -> None:
+        barrier.wait()
+        for j in range(share):
+            x = samples[(idx + j * n_clients) % len(samples)]
+            t0 = time.perf_counter()
+            try:
+                response = predict_fn(x)
+            except Exception:
+                errors[idx] += 1
+                continue
+            latencies[idx].append((time.perf_counter() - t0) * 1e3)
+            if isinstance(response, dict) and response.get("cached"):
+                cache_hits[idx] += 1
+
+    threads = [threading.Thread(target=client, args=(i, share), daemon=True)
+               for i, share in enumerate(shares)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    duration = time.perf_counter() - t0
+
+    flat = sorted(ms for client_ms in latencies for ms in client_ms)
+    total_errors = sum(errors)
+    done = len(flat)
+    return LoadReport(
+        requests=done + total_errors,
+        errors=total_errors,
+        duration_s=duration,
+        throughput_rps=done / duration if duration > 0 else 0.0,
+        latency_ms={
+            "mean": sum(flat) / done if done else 0.0,
+            "p50": percentile(flat, 50),
+            "p95": percentile(flat, 95),
+            "p99": percentile(flat, 99),
+        },
+        cache_hits=sum(cache_hits),
+        n_clients=n_clients,
+    )

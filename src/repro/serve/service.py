@@ -1,0 +1,223 @@
+"""The in-process inference service facade.
+
+Glues the serving pieces together behind one ``predict`` call:
+
+1. resolve the request's (model, version) through the
+   :class:`~repro.serve.registry.ModelRegistry` (hot-swap aware);
+2. probe the :class:`~repro.serve.cache.PredictionCache` — a hit answers
+   immediately with zero modeled chip energy;
+3. on a miss, submit to that entry's
+   :class:`~repro.serve.batcher.MicroBatcher` (one batcher per active
+   (name, version), created lazily) and wait for the batched result;
+4. record telemetry (latency, queue wait, batch size, cache outcome,
+   energy) and fill the cache.
+
+Model hot-swaps invalidate the swapped name's cache entries; requests
+already in the old version's batcher finish on the weights they started
+on, and the old batcher stays alive for explicitly version-pinned
+requests until ``shutdown()`` closes every batcher (in-flight requests
+complete; new ones are refused).  One batcher per served (name, version)
+is the steady state — a collector thread plus the worker pool each —
+bounded by the number of registered versions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .batcher import MicroBatcher
+from .cache import PredictionCache
+from .registry import ModelEntry, ModelRegistry
+from .telemetry import Telemetry
+
+
+class InferenceService:
+    """Request/response predictions over a registry of batched models.
+
+    Parameters
+    ----------
+    registry:
+        The model registry to serve from (may keep gaining models and
+        versions while the service runs).
+    max_batch / max_wait_ms / workers:
+        Micro-batching knobs, applied to every per-model batcher: flush
+        when ``max_batch`` requests accumulated or ``max_wait_ms`` after
+        the first queued request, executed on ``workers`` threads.
+    cache_size:
+        LRU prediction-cache capacity (``0`` disables caching).
+    """
+
+    def __init__(self, registry: ModelRegistry, max_batch: int = 32,
+                 max_wait_ms: float = 5.0, cache_size: int = 1024,
+                 workers: int = 1):
+        self.registry = registry
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self.workers = int(workers)
+        self.cache = PredictionCache(cache_size)
+        self.telemetry = Telemetry()
+        self._batchers: Dict[Tuple[str, str], MicroBatcher] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        registry.subscribe(self._on_swap)
+
+    # -- hot-swap plumbing ----------------------------------------------
+
+    def _on_swap(self, name: str, old_version: Optional[str],
+                 new_version: str) -> None:
+        """Registry activated a new version: drop the name's stale cache.
+
+        The old version's batcher is deliberately left running: a request
+        that resolved the old entry moments before the swap must still be
+        servable (closing it here would race ``predict`` between
+        ``_batcher()`` and ``submit()``), and explicitly version-pinned
+        requests keep using it.  ``shutdown()`` closes it with the rest.
+        """
+        del old_version, new_version
+        self.cache.invalidate(name)
+
+    def _batcher(self, entry: ModelEntry) -> MicroBatcher:
+        key = (entry.name, entry.version)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("InferenceService is shut down")
+            batcher = self._batchers.get(key)
+            if batcher is None:
+                batcher = MicroBatcher(
+                    entry.model.predict_batch, max_batch=self.max_batch,
+                    max_wait_ms=self.max_wait_ms, workers=self.workers)
+                self._batchers[key] = batcher
+            return batcher
+
+    # -- request path ----------------------------------------------------
+
+    def predict(self, x: np.ndarray, model: Optional[str] = None,
+                version: Optional[str] = None, use_cache: bool = True,
+                ) -> dict:
+        """Answer one single-sample prediction request.
+
+        Returns a JSON-ready dict: ``prediction``, the serving ``model`` /
+        ``version``, ``cached``, ``batch_size`` (0 for cache hits),
+        ``queue_ms``, ``latency_ms``, and the modeled ``energy_mj``.
+        """
+        return self._gather(self._begin(x, model, version, use_cache))
+
+    def _begin(self, x, model: Optional[str], version: Optional[str],
+               use_cache: bool) -> dict:
+        """Resolve + cache-probe + batcher-submit one request (non-blocking)."""
+        if self._closed:
+            raise RuntimeError("InferenceService is shut down")
+        t0 = time.perf_counter()
+        x = np.asarray(x, dtype=float)
+        try:
+            entry = self.registry.resolve(model, version)
+            key = self.cache.key(x, entry.name, entry.version)
+            if use_cache:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    return {"t0": t0, "entry": entry, "hit": hit}
+            future = self._batcher(entry).submit(x)
+        except Exception:
+            self.telemetry.record_error()
+            raise
+        return {"t0": t0, "entry": entry, "key": key, "future": future}
+
+    def _gather(self, state: dict) -> dict:
+        """Wait for a begun request and record its telemetry."""
+        entry = state["entry"]
+        if "hit" in state:
+            latency_ms = (time.perf_counter() - state["t0"]) * 1e3
+            self.telemetry.record(latency_ms, 0.0, 0, cached=True,
+                                  energy_mj=0.0)
+            return self._response(state["hit"], entry, cached=True,
+                                  batch_size=0, queue_ms=0.0,
+                                  latency_ms=latency_ms, energy_mj=0.0)
+        try:
+            item = state["future"].result()
+        except Exception:
+            self.telemetry.record_error()
+            raise
+        value = int(item.value)
+        self.cache.put(state["key"], value)
+        latency_ms = (time.perf_counter() - state["t0"]) * 1e3
+        self.telemetry.record(latency_ms, item.queue_ms, item.batch_size,
+                              cached=False,
+                              energy_mj=entry.energy_mj_per_request)
+        return self._response(value, entry, cached=False,
+                              batch_size=item.batch_size,
+                              queue_ms=item.queue_ms, latency_ms=latency_ms,
+                              energy_mj=entry.energy_mj_per_request)
+
+    @staticmethod
+    def _response(value, entry: ModelEntry, cached: bool, batch_size: int,
+                  queue_ms: float, latency_ms: float,
+                  energy_mj: float) -> dict:
+        return {
+            "prediction": int(value),
+            "model": entry.name,
+            "version": entry.version,
+            "cached": cached,
+            "batch_size": batch_size,
+            "queue_ms": round(queue_ms, 3),
+            "latency_ms": round(latency_ms, 3),
+            "energy_mj": energy_mj if not cached else 0.0,
+        }
+
+    def predict_many(self, X: Sequence, model: Optional[str] = None,
+                     version: Optional[str] = None,
+                     use_cache: bool = True) -> list:
+        """Predict a whole list: all requests are submitted *before* any is
+        awaited, so they coalesce into micro-batches even from a single
+        caller thread (a sequential ``predict`` loop would dispatch each
+        sample alone after a full ``max_wait_ms`` stall)."""
+        started = [self._begin(x, model, version, use_cache) for x in X]
+        return [self._gather(state) for state in started]
+
+    # -- introspection ---------------------------------------------------
+
+    def healthz(self) -> dict:
+        snap = self.telemetry.snapshot()
+        return {
+            "status": "down" if self._closed else "ok",
+            "models": len(self.registry),
+            "requests": snap["requests"],
+            "uptime_s": round(snap["uptime_s"], 3),
+        }
+
+    def metrics(self) -> dict:
+        """The ``/metrics`` payload: telemetry + cache + model listing."""
+        payload = self.telemetry.snapshot()
+        payload["cache"] = self.cache.stats()
+        payload["models"] = self.registry.models()
+        payload["batching"] = {
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+            "workers": self.workers,
+            "active_batchers": len(self._batchers),
+        }
+        return payload
+
+    # -- lifecycle -------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Drain every batcher (in-flight requests finish) and stop."""
+        with self._lock:
+            self._closed = True
+            batchers = list(self._batchers.values())
+            self._batchers.clear()
+        for batcher in batchers:
+            batcher.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "InferenceService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -39,6 +39,13 @@ def test_example_imports_cleanly_and_exposes_main(name):
     assert hasattr(module, "Runner")
 
 
+def test_serve_quickstart_imports_cleanly_and_exposes_main():
+    # The serving example wraps repro.serve instead of the runner.
+    module = _load_example("serve_quickstart")
+    assert callable(module.main)
+    assert hasattr(module, "InferenceService")
+
+
 def test_quickstart_spec_end_to_end_tiny(tmp_path):
     """The quickstart spec (rate + chip backends) runs end to end."""
     spec = get_scenario("offline_accuracy").build_spec(tiny=True).replace(

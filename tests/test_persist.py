@@ -146,6 +146,49 @@ def test_missing_checkpoint_rejected(tmp_path):
         load_checkpoint(tmp_path / "nope")
 
 
+def test_missing_npz_half_raises_checkpoint_error(tmp_path):
+    save_checkpoint(_trained_emstdp(), tmp_path / "net")
+    npz_path, _ = checkpoint_paths(tmp_path / "net")
+    npz_path.unlink()
+    with pytest.raises(CheckpointError, match="no array file"):
+        load_checkpoint(tmp_path / "net")
+
+
+def test_missing_manifest_half_raises_checkpoint_error(tmp_path):
+    save_checkpoint(_trained_emstdp(), tmp_path / "net")
+    _, json_path = checkpoint_paths(tmp_path / "net")
+    json_path.unlink()
+    with pytest.raises(CheckpointError, match="no manifest"):
+        load_checkpoint(tmp_path / "net")
+
+
+def test_str_and_path_stems_are_equivalent(tmp_path):
+    net = _trained_emstdp()
+    save_checkpoint(net, str(tmp_path / "as-str"))  # str stem
+    state, _ = load_checkpoint(tmp_path / "as-str")  # Path stem
+    assert tuple(state["dims"]) == DIMS
+    assert checkpoint_paths(str(tmp_path / "x")) == \
+        checkpoint_paths(tmp_path / "x")
+
+
+def test_stem_with_pair_extension_resolves_to_same_pair(tmp_path):
+    net = _trained_emstdp()
+    save_checkpoint(net, tmp_path / "net")
+    for alias in ("net.npz", "net.json"):
+        assert checkpoint_paths(tmp_path / alias) == \
+            checkpoint_paths(tmp_path / "net")
+        state, _ = load_checkpoint(tmp_path / alias)
+        assert tuple(state["dims"]) == DIMS
+
+
+def test_state_dict_carries_config_for_registry_rebuilds(tmp_path):
+    net = _trained_emstdp()
+    save_checkpoint(net, tmp_path / "net")
+    state, _ = load_checkpoint(tmp_path / "net")
+    assert state["config"]["phase_length"] == 8
+    assert state["config"]["dynamics"] == "rate"
+
+
 def test_load_without_model_returns_state(tmp_path):
     net = _trained_emstdp()
     save_checkpoint(net, tmp_path / "net")
