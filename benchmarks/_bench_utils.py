@@ -9,8 +9,41 @@ benchmark conftest used to shadow the test one and break collection
 import from this module; ``benchmarks/conftest.py`` only declares fixtures.
 """
 
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import __version__
 from repro.data import load_dataset, make_blobs  # noqa: F401  (re-exported)
 from repro.models import ConvFrontend, paper_topology
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Persist one benchmark's results as machine-readable JSON.
+
+    Writes ``BENCH_<name>[_<variant>].json`` into ``$BENCH_RESULTS_DIR``
+    (default: the current directory), stamped with the repro version and
+    wall-clock time, so CI can upload the files as artifacts and the
+    performance trajectory is trackable across commits instead of living
+    only in log scrollback.  A ``variant`` key in the payload becomes a
+    filename suffix so smoke and full runs of one benchmark never
+    overwrite each other.
+    """
+    out_dir = Path(os.environ.get("BENCH_RESULTS_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    variant = payload.get("variant")
+    stem = f"BENCH_{name}_{variant}" if variant else f"BENCH_{name}"
+    path = out_dir / f"{stem}.json"
+    record = {
+        "benchmark": name,
+        "repro_version": __version__,
+        "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        **payload,
+    }
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"bench results -> {path}")
+    return path
 
 
 class FrontendCache:

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core import EMSTDPConfig, EMSTDPNetwork
 
-from _bench_utils import make_blobs
+from _bench_utils import make_blobs, write_bench_json
 
 DIMS = (64, 128, 10)
 BATCH = 32
@@ -76,18 +76,35 @@ def _report(kind, seq_sps, bat_sps, batch):
     return speedup
 
 
-def _run(n_train: int, n_infer: int):
+def _run(n_train: int, n_infer: int, variant: str):
     print()
     print(f"batched-engine throughput — rate backend, dims {DIMS}")
-    train_speedup = _report("training", *_train_throughput(n_train), BATCH)
-    infer_speedup = _report("inference", *_infer_throughput(n_infer), 256)
+    train_seq, train_bat = _train_throughput(n_train)
+    infer_seq, infer_bat = _infer_throughput(n_infer)
+    train_speedup = _report("training", train_seq, train_bat, BATCH)
+    infer_speedup = _report("inference", infer_seq, infer_bat, 256)
+    write_bench_json("batched_throughput", {
+        "variant": variant,
+        "dims": list(DIMS),
+        "train_batch": BATCH,
+        "infer_batch": 256,
+        "n_train": n_train,
+        "n_infer": n_infer,
+        "train_sequential_sps": round(train_seq, 1),
+        "train_batched_sps": round(train_bat, 1),
+        "train_speedup": round(train_speedup, 2),
+        "infer_sequential_sps": round(infer_seq, 1),
+        "infer_batched_sps": round(infer_bat, 1),
+        "infer_speedup": round(infer_speedup, 2),
+    })
     return train_speedup, infer_speedup
 
 
 def bench_batched_smoke(benchmark):
     """CI gate: the acceptance assertions on a small sample budget."""
     train_speedup, infer_speedup = benchmark.pedantic(
-        lambda: _run(n_train=512, n_infer=2048), rounds=1, iterations=1)
+        lambda: _run(n_train=512, n_infer=2048, variant="smoke"),
+        rounds=1, iterations=1)
     assert train_speedup >= 5.0, \
         f"batched training speedup {train_speedup:.1f}x < 5x at batch {BATCH}"
     assert infer_speedup >= 5.0, \
@@ -97,6 +114,7 @@ def bench_batched_smoke(benchmark):
 def bench_batched_throughput(benchmark):
     """Full measurement (longer run, tighter timing noise)."""
     train_speedup, infer_speedup = benchmark.pedantic(
-        lambda: _run(n_train=2048, n_infer=8192), rounds=1, iterations=1)
+        lambda: _run(n_train=2048, n_infer=8192, variant="full"),
+        rounds=1, iterations=1)
     assert train_speedup >= 5.0
     assert infer_speedup >= 5.0

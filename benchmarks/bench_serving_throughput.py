@@ -31,7 +31,7 @@ from repro.core import EMSTDPNetwork, full_precision_config
 from repro.serve import InferenceService, ModelRegistry, run_load, \
     service_predict_fn
 
-from _bench_utils import make_blobs
+from _bench_utils import make_blobs, write_bench_json
 
 DIMS = (64, 128, 10)
 PHASE_LENGTH = 32
@@ -63,7 +63,7 @@ def _throughput(max_batch: int, n_requests: int):
     return report, metrics
 
 
-def _run(n_requests: int):
+def _run(n_requests: int, variant: str):
     print()
     print(f"serving throughput — spike backend, dims {DIMS}, "
           f"T={PHASE_LENGTH}, {N_CLIENTS} closed-loop clients, cache off")
@@ -76,6 +76,23 @@ def _run(n_requests: int):
               f"p99 {rep.latency_ms['p99']:6.2f} ms")
     print(f"speedup {speedup:.1f}x   mean dispatched batch "
           f"{metrics['mean_batch_size']:.1f}")
+    write_bench_json("serving_throughput", {
+        "variant": variant,
+        "dims": list(DIMS),
+        "phase_length": PHASE_LENGTH,
+        "n_clients": N_CLIENTS,
+        "max_batch": MAX_BATCH,
+        "n_requests": n_requests,
+        "batch1_rps": round(base.throughput_rps, 1),
+        "micro_rps": round(micro.throughput_rps, 1),
+        "speedup": round(speedup, 2),
+        "batch1_latency_ms": {k: round(v, 3)
+                              for k, v in base.latency_ms.items()},
+        "micro_latency_ms": {k: round(v, 3)
+                             for k, v in micro.latency_ms.items()},
+        "mean_batch_size": round(metrics["mean_batch_size"], 2),
+        "energy_mj_per_request": metrics["energy_mj_per_request"],
+    })
     return speedup, metrics
 
 
@@ -94,7 +111,8 @@ def _check_metrics_shape(metrics: dict) -> None:
 def bench_serving_smoke(benchmark):
     """CI gate: >= 3x micro-batched throughput on a small request budget."""
     speedup, metrics = benchmark.pedantic(
-        lambda: _run(n_requests=400), rounds=1, iterations=1)
+        lambda: _run(n_requests=400, variant="smoke"), rounds=1,
+        iterations=1)
     _check_metrics_shape(metrics)
     assert speedup >= 3.0, \
         f"micro-batched serving speedup {speedup:.1f}x < 3x"
@@ -103,6 +121,7 @@ def bench_serving_smoke(benchmark):
 def bench_serving_throughput(benchmark):
     """Full measurement (longer run, tighter timing noise)."""
     speedup, metrics = benchmark.pedantic(
-        lambda: _run(n_requests=2000), rounds=1, iterations=1)
+        lambda: _run(n_requests=2000, variant="full"), rounds=1,
+        iterations=1)
     _check_metrics_shape(metrics)
     assert speedup >= 3.0

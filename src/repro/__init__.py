@@ -28,6 +28,10 @@ Subpackages
 ``repro.experiments``
     Config-driven experiment orchestration: declarative specs, a seed
     fan-out runner, and a ``runs/`` store; drives ``python -m repro``.
+``repro.sweeps``
+    Sweep orchestration over the experiment runner: grid/random axes,
+    resumable multi-point execution, a ``runs/sweeps/`` index; drives
+    ``python -m repro sweep``.
 ``repro.serve``
     Micro-batching inference service: model registry with hot-swap,
     prediction cache, HTTP endpoint, telemetry, and a load-test harness;
@@ -42,9 +46,9 @@ except Exception:  # running from a source tree (PYTHONPATH=src)
     __version__ = "1.0.0"
 
 from . import (analysis, baselines, core, data, experiments, incremental,
-               loihi, models, onchip, persist, serve)
+               loihi, models, onchip, persist, serve, sweeps)
 from .seeding import as_rng
 
 __all__ = ["analysis", "baselines", "core", "data", "experiments",
            "incremental", "loihi", "models", "onchip", "persist", "serve",
-           "as_rng", "__version__"]
+           "sweeps", "as_rng", "__version__"]

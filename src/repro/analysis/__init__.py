@@ -1,5 +1,8 @@
-"""Metrics, sweeps and formatting used by the benchmark harness."""
+"""Metrics, sweeps, aggregation and formatting for the harnesses."""
 
+from .aggregate import (axis_tables, best_point, default_objective,
+                        flatten_metrics, mean_metrics, resolve_objective,
+                        sweep_table)
 from .metrics import (accuracy, confusion_matrix, per_class_accuracy,
                       spike_sparsity, summarize_run)
 from .reporting import ascii_plot, format_series, format_table
@@ -7,6 +10,8 @@ from .tradeoff import (TradeoffPoint, as_series, best_energy_point,
                        sweep_neurons_per_core)
 
 __all__ = ["TradeoffPoint", "accuracy", "as_series", "ascii_plot",
-           "best_energy_point", "confusion_matrix", "format_series",
-           "format_table", "per_class_accuracy", "spike_sparsity",
-           "summarize_run", "sweep_neurons_per_core"]
+           "axis_tables", "best_energy_point", "best_point",
+           "confusion_matrix", "default_objective", "flatten_metrics",
+           "format_series", "format_table", "mean_metrics",
+           "per_class_accuracy", "resolve_objective", "spike_sparsity",
+           "summarize_run", "sweep_table"]

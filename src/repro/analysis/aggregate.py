@@ -1,0 +1,163 @@
+"""Aggregation of run records across seeds and sweep points.
+
+Two levels of reduction live here:
+
+* **seed level** — :func:`flatten_metrics` / :func:`mean_metrics` reduce a
+  run's per-seed JSONL records to one flat ``metric path -> mean`` dict
+  (``python -m repro show`` / ``compare`` render these);
+* **point level** — a sweep's per-point summary lines are ranked by an
+  objective metric (:func:`best_point`), tabulated across all points
+  (:func:`sweep_table`), and marginalized one axis at a time
+  (:func:`axis_tables`), which is what ``python -m repro sweep show``
+  prints and ``summary.jsonl`` stores.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Summary = Tuple[List[str], List[List[object]]]
+
+
+def flatten_metrics(metrics: dict, prefix: str = "") -> Dict[str, float]:
+    """Nested metrics dict -> flat ``a.b.c -> float`` (non-numeric dropped)."""
+    out: Dict[str, float] = {}
+    for key, value in metrics.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(flatten_metrics(value, name + "."))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[name] = float(value)
+    return out
+
+
+def mean_metrics(records: Sequence[dict]) -> Dict[str, float]:
+    """Mean of every numeric metric leaf over the given records."""
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for rec in records:
+        for key, value in flatten_metrics(rec.get("metrics", {})).items():
+            sums[key] = sums.get(key, 0.0) + value
+            counts[key] = counts.get(key, 0) + 1
+    return {k: sums[k] / counts[k] for k in sums}
+
+
+def _group_key(value: object) -> object:
+    """A hashable stand-in for an axis value (lists -> their JSON text)."""
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return json.dumps(value, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# sweep-point aggregation
+# ---------------------------------------------------------------------------
+
+def default_objective(metric_keys: Sequence[str]) -> str:
+    """A sensible ranking metric when the sweep spec names none.
+
+    Prefers accuracy-like keys (``*test_acc``, then anything ending in
+    ``acc``); falls back to the first key alphabetically so the choice is
+    at least deterministic.
+    """
+    keys = sorted(metric_keys)
+    for suffix in ("test_acc", "acc"):
+        for key in keys:
+            if key.endswith(suffix):
+                return key
+    return keys[0] if keys else ""
+
+
+def resolve_objective(summaries: Sequence[dict], objective: str = "") -> str:
+    """The concrete objective key for a set of point summaries."""
+    if objective:
+        return objective
+    keys = set()
+    for summary in summaries:
+        keys.update(summary.get("metrics", {}))
+    return default_objective(sorted(keys))
+
+
+def best_point(summaries: Sequence[dict], objective: str = "",
+               mode: str = "max") -> Optional[dict]:
+    """The finished point with the best objective value, or ``None``."""
+    objective = resolve_objective(summaries, objective)
+    scored = [s for s in summaries
+              if s.get("status") == "complete"
+              and objective in s.get("metrics", {})]
+    if not scored:
+        return None
+    pick = max if mode == "max" else min
+    return pick(scored, key=lambda s: s["metrics"][objective])
+
+
+def sweep_table(points: Sequence[dict], summaries: Dict[str, dict],
+                axis_fields: Sequence[str], objective: str = "",
+                mode: str = "max") -> Summary:
+    """The cross-point table: one row per point plus a final best row.
+
+    ``points`` is the sweep manifest's point list (id + overrides, in
+    expansion order); ``summaries`` maps point ids to their summary lines.
+    """
+    done = list(summaries.values())
+    objective = resolve_objective(done, objective)
+    headers = (["point"] + list(axis_fields)
+               + ["status", "seeds", objective or "objective"])
+    rows: List[List[object]] = []
+    for point in points:
+        summary = summaries.get(point["point_id"], {})
+        status = summary.get("status", point.get("status", "pending"))
+        seeds = (f"{summary['seeds_ok']}/{summary['seeds_total']}"
+                 if "seeds_ok" in summary else "-")
+        value = summary.get("metrics", {}).get(objective, "")
+        rows.append([point["point_id"]]
+                    + [point["overrides"].get(f, "") for f in axis_fields]
+                    + [status, seeds, value])
+    best = best_point(done, objective, mode)
+    if best is not None:
+        rows.append([f"best:{best['point_id']}"]
+                    + [best["overrides"].get(f, "") for f in axis_fields]
+                    + ["", "", best["metrics"][objective]])
+    return headers, rows
+
+
+def axis_tables(axis_fields: Sequence[str], summaries: Sequence[dict],
+                objective: str = "",
+                mode: str = "max") -> Dict[str, Summary]:
+    """Per-axis marginals: mean/best objective for each value of one axis.
+
+    The other axes are averaged out — the tables answer "how does the
+    objective move along *this* knob", which is the per-axis view the
+    paper's figures plot.
+    """
+    done = [s for s in summaries if s.get("status") == "complete"]
+    objective = resolve_objective(done, objective)
+    tables: Dict[str, Summary] = {}
+    pick = max if mode == "max" else min
+    for field in axis_fields:
+        # Axis values may be unhashable (a list-valued `hidden` point):
+        # group by a canonical hashable key, display the original value.
+        groups: Dict[object, List[float]] = {}
+        display: Dict[object, object] = {}
+        for summary in done:
+            if field not in summary.get("overrides", {}):
+                continue
+            value = summary["metrics"].get(objective)
+            if value is None:
+                continue
+            axis_value = summary["overrides"][field]
+            key = _group_key(axis_value)
+            groups.setdefault(key, []).append(value)
+            display.setdefault(key, axis_value)
+        if not groups:
+            continue
+        rows = [[display[key], len(vals), sum(vals) / len(vals), pick(vals)]
+                for key, vals in sorted(groups.items(), key=lambda kv:
+                                        (str(type(kv[0])), kv[0]))]
+        tables[field] = ([field, "points", f"mean {objective}",
+                          f"{'best' if mode == 'max' else 'min'} "
+                          f"{objective}"], rows)
+    return tables

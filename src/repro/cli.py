@@ -1,4 +1,4 @@
-"""``python -m repro`` — run, list, show, compare, and serve experiments.
+"""``python -m repro`` — run, list, show, compare, sweep, and serve.
 
 Subcommands::
 
@@ -13,6 +13,17 @@ Subcommands::
         The per-seed results table of one run (id prefixes work).
     compare <run_id> [<run_id> ...]
         Mean numeric metrics of several runs side by side.
+    sweep run [<sweep>] [--tiny] [--axis F=V1,V2 ...] [--resume [SWEEP_ID]]
+        Expand a sweep (a built-in family like ``t_sweep`` /
+        ``noise_robustness``, or any scenario given ``--axis`` grids) and
+        run every point as a child run; mid-sweep kills resume at both
+        the point and the seed level.
+    sweep show <sweep_id>
+        Cross-point table with a best-point row, plus per-axis marginals.
+    sweep compare <sweep_id> [<sweep_id> ...]
+        Best points of several sweeps side by side.
+    sweep list
+        Table of every sweep in the store, most recent first.
     serve <checkpoint> [--port P] [--max-batch N] [--max-wait-ms F]
         Micro-batching JSON inference endpoint over a checkpoint stem, a
         directory of checkpoints, or a run id (serves every checkpoint of
@@ -25,10 +36,13 @@ dependency-free formatter the benchmarks use.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from . import __version__
+from .analysis.aggregate import (axis_tables, best_point, mean_metrics,
+                                 resolve_objective, sweep_table)
 from .analysis.reporting import format_table
 from .experiments import Runner, RunStore, get_scenario
 from .experiments.scenarios import SCENARIOS
@@ -38,6 +52,10 @@ EPILOG = """examples:
   python -m repro run offline_accuracy --tiny --seeds 2
   python -m repro list
   python -m repro show <run_id>
+  python -m repro sweep run t_sweep --tiny       # 2x2 CI-sized grid
+  python -m repro sweep run noise_robustness     # corruption x dataset
+  python -m repro sweep run offline_accuracy --axis epochs=1,2
+  python -m repro sweep show <sweep_id>
   python -m repro serve <run_id>                 # serve a run's checkpoints
   python -m repro serve ckpt/model --port 8100   # serve one checkpoint stem
 """
@@ -89,6 +107,49 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("run_ids", nargs="+", metavar="run_id")
     cmp_.add_argument("--out", default="runs")
 
+    sweep = sub.add_parser(
+        "sweep", help="run and inspect multi-point parameter sweeps")
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    srun = sweep_sub.add_parser(
+        "run", help="expand a sweep and run every point as a child run")
+    srun.add_argument("sweep", nargs="?", default=None,
+                      help="built-in sweep family (default: t_sweep) or "
+                           "any scenario name combined with --axis; with "
+                           "--resume it only filters which 'latest' sweep "
+                           "to pick")
+    srun.add_argument("--tiny", action="store_true",
+                      help="CI-sized 2x2 grid variant (<60 s)")
+    srun.add_argument("--axis", action="append", default=[],
+                      metavar="FIELD=V1,V2",
+                      help="add or override one grid axis; FIELD is a spec "
+                           "field (phase_length, dataset, epochs, ...) or "
+                           "a params.<key> path; repeatable")
+    srun.add_argument("--seeds", type=int, default=None, metavar="N",
+                      help="seeds per point (default: the base spec's)")
+    srun.add_argument("--seed-base", type=int, default=0, metavar="B")
+    srun.add_argument("--workers", type=int, default=None, metavar="W",
+                      help="per-point seed fan-out width (1 = inline)")
+    srun.add_argument("--out", default="runs")
+    srun.add_argument("--resume", nargs="?", const="latest", default=None,
+                      metavar="SWEEP_ID",
+                      help="resume a killed sweep (no id = newest "
+                           "unfinished); finished points and finished "
+                           "seeds of the interrupted point are skipped")
+
+    sshow = sweep_sub.add_parser(
+        "show", help="cross-point table with best-point row + marginals")
+    sshow.add_argument("sweep_id", help="sweep id or unique prefix")
+    sshow.add_argument("--out", default="runs")
+
+    scmp = sweep_sub.add_parser(
+        "compare", help="best points of several sweeps side by side")
+    scmp.add_argument("sweep_ids", nargs="+", metavar="sweep_id")
+    scmp.add_argument("--out", default="runs")
+
+    slst = sweep_sub.add_parser("list", help="list all sweeps in the store")
+    slst.add_argument("--out", default="runs")
+
     serve = sub.add_parser(
         "serve", help="micro-batching JSON inference endpoint over "
                       "checkpointed models")
@@ -123,6 +184,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_show(args)
         if args.command == "compare":
             return _cmd_compare(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "serve":
             return _cmd_serve(args)
     except KeyError as exc:
@@ -150,9 +213,10 @@ def _cmd_run(args) -> int:
             print("note: --resume takes the spec from the run's manifest; "
                   "--tiny/--seeds/--seed-base/--epochs are ignored",
                   file=sys.stderr)
-    if args.seeds is not None:
+    if args.seeds is not None or args.seed_base:
+        n_seeds = args.seeds if args.seeds is not None else len(spec.seeds)
         spec = spec.replace(
-            seeds=tuple(range(args.seed_base, args.seed_base + args.seeds)))
+            seeds=tuple(range(args.seed_base, args.seed_base + n_seeds)))
     if args.epochs is not None:
         spec = spec.replace(epochs=args.epochs)
     runner = Runner(out_root=args.out, max_workers=args.workers)
@@ -205,7 +269,7 @@ def _cmd_show(args) -> int:
                        title=f"{run.experiment} · run {run.run_id} "
                              f"[{run.status}] · repro "
                              f"{run.manifest.get('repro_version', '?')}"))
-    means = _mean_metrics(records)
+    means = mean_metrics(records)
     if means:
         print()
         print(format_table(["metric", "mean"],
@@ -235,7 +299,7 @@ def _cmd_compare(args) -> int:
     means = []
     for run in runs:
         ok = [r for r in store.records(run) if r.get("status") == "ok"]
-        means.append(_mean_metrics(ok))
+        means.append(mean_metrics(ok))
     columns = sorted(set().union(*means)) if means else []
     rows = []
     for run, m in zip(runs, means):
@@ -243,6 +307,214 @@ def _cmd_compare(args) -> int:
                     [m.get(c, "") for c in columns])
     print(format_table(["run"] + columns, rows,
                        title="mean metrics per run"))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# sweep
+# ---------------------------------------------------------------------------
+
+def _cmd_sweep(args) -> int:
+    if args.sweep_command == "run":
+        return _cmd_sweep_run(args)
+    if args.sweep_command == "show":
+        return _cmd_sweep_show(args)
+    if args.sweep_command == "compare":
+        return _cmd_sweep_compare(args)
+    if args.sweep_command == "list":
+        return _cmd_sweep_list(args)
+    raise AssertionError(f"unhandled sweep command {args.sweep_command!r}")
+
+
+def _parse_axis_value(text: str) -> object:
+    """One ``--axis`` value: JSON if it parses, bare string if not."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _split_axis_values(text: str) -> List[str]:
+    """Split on top-level commas only, so JSON list values survive
+    (``hidden=[16,8],[32,16]`` is two values, not four fragments)."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in text:
+        if ch in "[{":
+            depth += 1
+        elif ch in "]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return [p for p in (part.strip() for part in parts) if p]
+
+
+def _parse_axes(axis_args: List[str]):
+    from .sweeps import SweepAxis
+
+    axes = []
+    for arg in axis_args:
+        field, _, values = arg.partition("=")
+        if not field or not values:
+            raise ValueError(
+                f"--axis wants FIELD=V1,V2,..., got {arg!r}")
+        axes.append(SweepAxis(field, tuple(
+            _parse_axis_value(v) for v in _split_axis_values(values))))
+    return axes
+
+
+def _build_sweep_spec(args):
+    """Resolve the ``sweep run`` target: built-in family or ad hoc axes."""
+    from .sweeps import SWEEPS, SweepSpec, get_sweep
+
+    name = args.sweep if args.sweep is not None else "t_sweep"
+    extra = _parse_axes(args.axis)
+    if name in SWEEPS:
+        spec = get_sweep(name).build_sweep(tiny=args.tiny)
+        if extra:
+            overridden = {a.field for a in extra}
+            spec = spec.replace(grid=tuple(
+                a for a in spec.grid
+                if a.field not in overridden) + tuple(extra))
+    elif name in SCENARIOS:
+        if not extra:
+            raise ValueError(
+                f"{name!r} is a scenario, not a sweep family; give "
+                "it at least one --axis FIELD=V1,V2 to sweep over "
+                f"(built-in sweeps: {sorted(SWEEPS)})")
+        base = get_scenario(name).build_spec(tiny=args.tiny)
+        spec = SweepSpec(name=name, base=base, grid=tuple(extra))
+    else:
+        raise KeyError(
+            f"unknown sweep or scenario {name!r}; sweeps: "
+            f"{sorted(SWEEPS)}, scenarios: {sorted(SCENARIOS)}")
+    if args.seeds is not None or args.seed_base:
+        n_seeds = (args.seeds if args.seeds is not None
+                   else len(spec.base.seeds))
+        spec = spec.replace(base=spec.base.replace(seeds=tuple(
+            range(args.seed_base, args.seed_base + n_seeds))))
+    return spec
+
+
+def _cmd_sweep_run(args) -> int:
+    from .sweeps import SweepRunner
+
+    runner = SweepRunner(out_root=args.out, max_workers=args.workers)
+    if args.resume is not None:
+        # The spec comes from sweep.json; a positional name (if any) only
+        # narrows which "latest" sweep gets picked.
+        if args.tiny or args.axis or args.seeds is not None \
+                or args.seed_base:
+            print("note: --resume takes the sweep spec from sweep.json; "
+                  "--tiny/--axis/--seeds/--seed-base are ignored",
+                  file=sys.stderr)
+        resume = args.resume
+        if resume == "latest" and args.sweep is not None:
+            resume = runner.store.latest(
+                args.sweep, unfinished_only=True).sweep_id
+        result = runner.run(resume=resume, progress=print)
+    else:
+        try:
+            spec = _build_sweep_spec(args)
+            # Expand eagerly: a bad axis field or value surfaces here as
+            # a clean error instead of a traceback mid-run.
+            n_points = len(spec.expand())
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"sweep {spec.name}: {n_points} point(s) x "
+              f"{len(spec.base.seeds)} seed(s)")
+        result = runner.run(spec, progress=print)
+    print()
+    print(_render_sweep(runner.store, runner.store.find(result.sweep_id)))
+    print(f"\nsweep directory: {result.sweep_dir}")
+    return 0 if result.status == "complete" else 1
+
+
+def _render_sweep(store, sweep) -> str:
+    """The cross-point table (with best row) plus per-axis marginals."""
+    spec = sweep.spec()
+    summaries = store.summaries(sweep)
+    headers, rows = sweep_table(sweep.points(), summaries,
+                                spec.axis_fields(), spec.objective,
+                                spec.mode)
+    parts = [format_table(
+        headers, rows,
+        title=f"sweep {spec.name} · {sweep.sweep_id} [{sweep.status}] · "
+              f"scenario {spec.base.name}")]
+    for field, (ax_headers, ax_rows) in axis_tables(
+            spec.axis_fields(), list(summaries.values()),
+            spec.objective, spec.mode).items():
+        parts.append("")
+        parts.append(format_table(ax_headers, ax_rows,
+                                  title=f"marginal over {field}"))
+    return "\n".join(parts)
+
+
+def _cmd_sweep_show(args) -> int:
+    from .sweeps import SweepStore
+
+    store = SweepStore(args.out)
+    sweep = store.find(args.sweep_id)
+    print(_render_sweep(store, sweep))
+    pending = [p["point_id"] for p in sweep.points()
+               if p.get("status") != "complete"]
+    if sweep.status != "complete" and pending:
+        print(f"\n{len(pending)} point(s) unfinished: {pending} "
+              f"(resume with: python -m repro sweep run --resume "
+              f"{sweep.sweep_id})")
+    return 0
+
+
+def _cmd_sweep_compare(args) -> int:
+    from .sweeps import SweepStore
+
+    store = SweepStore(args.out)
+    rows = []
+    for sweep_id in args.sweep_ids:
+        sweep = store.find(sweep_id)
+        spec = sweep.spec()
+        summaries = list(store.summaries(sweep).values())
+        done = sum(1 for s in summaries if s.get("status") == "complete")
+        objective = resolve_objective(summaries, spec.objective)
+        best = best_point(summaries, objective, spec.mode)
+        rows.append([
+            spec.name, sweep.sweep_id, sweep.status,
+            f"{done}/{len(sweep.points())}", objective,
+            best["point_id"] if best else "-",
+            best["metrics"][objective] if best else "",
+            best["overrides"] if best else "",
+        ])
+    print(format_table(
+        ["sweep", "sweep_id", "status", "points", "objective",
+         "best point", "best value", "best overrides"], rows,
+        title="sweeps side by side"))
+    return 0
+
+
+def _cmd_sweep_list(args) -> int:
+    from .sweeps import SweepStore
+
+    store = SweepStore(args.out)
+    sweeps = store.list_sweeps()
+    if not sweeps:
+        print(f"no sweeps under {store.root}/ "
+              f"(start one with: python -m repro sweep run t_sweep --tiny)")
+        return 0
+    rows = []
+    for sweep in sorted(sweeps, key=lambda s: s.sweep_id, reverse=True):
+        points = sweep.points()
+        done = sum(1 for p in points if p.get("status") == "complete")
+        rows.append([sweep.name, sweep.sweep_id, sweep.status,
+                     f"{done}/{len(points)}",
+                     sweep.manifest.get("repro_version", "?")])
+    print(format_table(
+        ["sweep", "sweep_id", "status", "points", "version"], rows))
     return 0
 
 
@@ -278,33 +550,14 @@ def _cmd_serve(args) -> int:
     try:
         server.serve_until_interrupt()
     finally:
-        service.shutdown()
+        drained = service.shutdown(timeout=30.0)
         snap = service.metrics()
         print(f"\nserved {snap['requests']} request(s), "
               f"cache hit rate {snap['cache']['hit_rate']:.2f}")
-    return 0
-
-
-def _mean_metrics(records: List[dict]) -> Dict[str, float]:
-    """Mean of every numeric metric leaf over the given records."""
-    sums: Dict[str, float] = {}
-    counts: Dict[str, int] = {}
-    for rec in records:
-        for key, value in _flatten(rec.get("metrics", {})).items():
-            sums[key] = sums.get(key, 0.0) + value
-            counts[key] = counts.get(key, 0) + 1
-    return {k: sums[k] / counts[k] for k in sums}
-
-
-def _flatten(metrics: dict, prefix: str = "") -> Dict[str, float]:
-    out: Dict[str, float] = {}
-    for key, value in metrics.items():
-        name = f"{prefix}{key}"
-        if isinstance(value, dict):
-            out.update(_flatten(value, name + "."))
-        elif isinstance(value, (int, float)) and not isinstance(value, bool):
-            out[name] = float(value)
-    return out
+        if not drained:
+            print("warning: shutdown timed out with requests still in "
+                  "flight", file=sys.stderr)
+    return 1 if not drained else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -6,13 +6,15 @@ their roles and difficulty ordering (see DESIGN.md).
 """
 
 from .cifar_like import generate as generate_cifar_like
+from .corruption import CORRUPTIONS, corrupt_dataset, corrupt_images
 from .fashion_like import generate as generate_fashion_like
 from .loaders import DATASETS, PAPER_MAPPING, load_dataset
 from .mnist_like import generate as generate_mnist_like, render_digit
 from .mstar_like import generate as generate_mstar_like, render_chip
 from .synth import Dataset, make_blobs
 
-__all__ = ["DATASETS", "Dataset", "PAPER_MAPPING", "generate_cifar_like",
+__all__ = ["CORRUPTIONS", "DATASETS", "Dataset", "PAPER_MAPPING",
+           "corrupt_dataset", "corrupt_images", "generate_cifar_like",
            "generate_fashion_like", "generate_mnist_like",
            "generate_mstar_like", "load_dataset", "make_blobs",
            "render_chip", "render_digit"]

@@ -10,6 +10,15 @@
 ``energy_tradeoff``
     The Fig. 3 neurons-per-core sweep through the chip energy model, for
     FA and DFA feedback.
+``noise_robustness``
+    Accuracy under input corruption: train on the clean stream, evaluate
+    on both the clean test set and a corrupted copy at
+    ``params["noise_level"]`` — one point of the robustness surface the
+    ``noise_robustness`` sweep maps out.
+``timing_precision``
+    Accuracy and modeled per-inference chip energy at one timing
+    precision ``T`` (``phase_length``) — one point of the ``t_sweep``
+    axis extending the Fig. 3 trade-off story to the time dimension.
 
 A scenario bundles three functions: ``build_spec`` (the declarative
 default, with a ``tiny`` CI-sized variant), ``run_seed`` (the work for one
@@ -128,18 +137,21 @@ def _run_offline_seed(spec: ExperimentSpec, seed: int,
     return {"metrics": metrics, "checkpoints": checkpoints}
 
 
-def _run_soft_backend(spec, seed, backend, dims, xs, ys, xte, yte):
+def _build_soft_model(spec, seed, backend, dims):
     p = spec.params
     if backend == "backprop":
-        model = BackpropMLP(dims, lr=float(p.get("backprop_lr", 0.05)),
-                            seed=seed)
-    elif backend in ("rate", "spike"):
+        return BackpropMLP(dims, lr=float(p.get("backprop_lr", 0.05)),
+                           seed=seed)
+    if backend in ("rate", "spike"):
         cfg_kw = dict(seed=seed, dynamics=backend)
         if spec.phase_length:
             cfg_kw["phase_length"] = spec.phase_length
-        model = EMSTDPNetwork(dims, full_precision_config(**cfg_kw))
-    else:
-        raise ValueError(f"unknown backend {backend!r}")
+        return EMSTDPNetwork(dims, full_precision_config(**cfg_kw))
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+def _run_soft_backend(spec, seed, backend, dims, xs, ys, xte, yte):
+    model = _build_soft_model(spec, seed, backend, dims)
     train_acc = 0.0
     for _ in range(spec.epochs):
         train_acc = model.train_stream(xs, ys)
@@ -355,4 +367,144 @@ register(Scenario(
     build_spec=_energy_spec,
     run_seed=_run_energy_seed,
     summarize=_summarize_energy,
+))
+
+
+# ---------------------------------------------------------------------------
+# noise_robustness
+# ---------------------------------------------------------------------------
+
+def _noise_spec(tiny: bool = False, **overrides) -> ExperimentSpec:
+    spec = ExperimentSpec(
+        name="noise_robustness",
+        dataset="mnist_like", n_train=400, n_test=160, side=16,
+        hidden=(64,), backends=("rate",),
+        params={"noise_level": 0.2, "noise_kind": "gaussian"},
+    )
+    if tiny:
+        spec = spec.replace(
+            n_train=64, n_test=32, side=8, hidden=(16,), phase_length=16,
+            tiny=True)
+    return spec.replace(**overrides) if overrides else spec
+
+
+def _run_noise_seed(spec: ExperimentSpec, seed: int,
+                    ckpt_dir: Optional[Path]) -> dict:
+    from ..data.corruption import corrupt_images
+
+    p = spec.params
+    level = float(p.get("noise_level", 0.2))
+    kind = str(p.get("noise_kind", "gaussian"))
+    train, test = load_dataset(spec.dataset, n_train=spec.n_train,
+                               n_test=spec.n_test, side=spec.side, seed=seed)
+    # Derived corruption seed, disjoint from the split seeds (the test
+    # split already uses seed + 10_000).
+    noisy = corrupt_images(test.images, level, rng=seed + 20_000, kind=kind)
+    xs, ys = train.flat(), train.labels
+    xte, yte = test.flat(), test.labels
+    xno = noisy.reshape(len(noisy), -1)
+    dims = spec.dims(xs.shape[1])
+    metrics: Dict[str, dict] = {}
+    checkpoints: Dict[str, str] = {}
+    for backend in spec.backends:
+        model, entry = _run_soft_backend(spec, seed, backend, dims,
+                                         xs, ys, xte, yte)
+        noisy_acc = float(model.evaluate_batch(xno, yte))
+        entry["noisy_acc"] = noisy_acc
+        entry["degradation"] = float(entry["test_acc"] - noisy_acc)
+        entry["noise_level"] = level
+        metrics[backend] = entry
+        if ckpt_dir is not None:
+            stem = Path(ckpt_dir) / f"seed{seed}-{backend}"
+            save_checkpoint(model, stem, meta={
+                "experiment": spec.name, "seed": seed, "backend": backend,
+                "noise_level": level, "noise_kind": kind})
+            checkpoints[backend] = stem.name
+    return {"metrics": metrics, "checkpoints": checkpoints}
+
+
+def _summarize_noise(records: Sequence[dict]) -> Summary:
+    headers = ["seed", "backend", "noise_level", "test_acc", "noisy_acc",
+               "degradation"]
+    rows = []
+    for rec in records:
+        for backend, entry in rec.get("metrics", {}).items():
+            rows.append([rec["seed"], backend] +
+                        [entry.get(k, "") for k in headers[2:]])
+    return headers, rows
+
+
+register(Scenario(
+    name="noise_robustness",
+    description="Accuracy under input corruption (clean vs. corrupted "
+                "test set at params['noise_level'])",
+    build_spec=_noise_spec,
+    run_seed=_run_noise_seed,
+    summarize=_summarize_noise,
+))
+
+
+# ---------------------------------------------------------------------------
+# timing_precision
+# ---------------------------------------------------------------------------
+
+def _timing_spec(tiny: bool = False, **overrides) -> ExperimentSpec:
+    spec = ExperimentSpec(
+        name="timing_precision",
+        dataset="mnist_like", n_train=400, n_test=160, side=16,
+        hidden=(64,), backends=("rate",), phase_length=64,
+    )
+    if tiny:
+        spec = spec.replace(
+            n_train=64, n_test=32, side=8, hidden=(16,), phase_length=16,
+            tiny=True)
+    return spec.replace(**overrides) if overrides else spec
+
+
+def _run_timing_seed(spec: ExperimentSpec, seed: int,
+                     ckpt_dir: Optional[Path]) -> dict:
+    from ..serve.telemetry import estimate_request_energy_mj
+
+    train, test = load_dataset(spec.dataset, n_train=spec.n_train,
+                               n_test=spec.n_test, side=spec.side, seed=seed)
+    xs, ys = train.flat(), train.labels
+    xte, yte = test.flat(), test.labels
+    dims = spec.dims(xs.shape[1])
+    metrics: Dict[str, dict] = {}
+    checkpoints: Dict[str, str] = {}
+    for backend in spec.backends:
+        model, entry = _run_soft_backend(spec, seed, backend, dims,
+                                         xs, ys, xte, yte)
+        config = getattr(model, "config", None)
+        entry["T"] = int(config.T) if config is not None else 1
+        entry["energy_mj_per_inference"] = float(
+            estimate_request_energy_mj(model))
+        metrics[backend] = entry
+        if ckpt_dir is not None:
+            stem = Path(ckpt_dir) / f"seed{seed}-{backend}"
+            save_checkpoint(model, stem, meta={
+                "experiment": spec.name, "seed": seed, "backend": backend,
+                "T": entry["T"]})
+            checkpoints[backend] = stem.name
+    return {"metrics": metrics, "checkpoints": checkpoints}
+
+
+def _summarize_timing(records: Sequence[dict]) -> Summary:
+    headers = ["seed", "backend", "T", "test_acc",
+               "energy_mj_per_inference"]
+    rows = []
+    for rec in records:
+        for backend, entry in rec.get("metrics", {}).items():
+            rows.append([rec["seed"], backend] +
+                        [entry.get(k, "") for k in headers[2:]])
+    return headers, rows
+
+
+register(Scenario(
+    name="timing_precision",
+    description="Accuracy and modeled per-inference chip energy at one "
+                "timing precision T (the t_sweep axis)",
+    build_spec=_timing_spec,
+    run_seed=_run_timing_seed,
+    summarize=_summarize_timing,
 ))

@@ -31,6 +31,62 @@ CHECKPOINT_DIR_NAME = "checkpoints"
 STORE_FORMAT_VERSION = 1
 
 
+# -- helpers shared with the sweep store (repro.sweeps.store) --------------
+
+def read_jsonl(path: Path) -> List[dict]:
+    """Parsed JSONL lines (skips blanks and a torn trailing line).
+
+    A process killed mid-append can leave a torn last line; every
+    complete record before it is still valid.
+    """
+    out: List[dict] = []
+    if not path.is_file():
+        return out
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            out.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return out
+
+
+def resolve_id(items, ident: str, id_of, what: str, where):
+    """Locate one item by exact id or unique id prefix.
+
+    ``id_of`` extracts an item's id; ``what`` names the item kind in the
+    ``KeyError`` messages (``"run"``, ``"sweep"``).
+    """
+    matches = [it for it in items
+               if id_of(it) == ident or id_of(it).startswith(ident)]
+    exact = [it for it in matches if id_of(it) == ident]
+    if exact:
+        return exact[0]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise KeyError(f"no {what} {ident!r} under {where}")
+    raise KeyError(f"{what} id prefix {ident!r} is ambiguous: "
+                   f"{[id_of(it) for it in matches]}")
+
+
+def pick_latest(items, status_of, label: str, where,
+                unfinished_only: bool = False):
+    """The last item in store order, optionally skipping complete ones.
+
+    ``label`` describes the collection in the ``KeyError`` message (e.g.
+    ``"runs of 'offline_accuracy'"``, ``"sweeps"``).
+    """
+    if unfinished_only:
+        items = [it for it in items if status_of(it) != "complete"]
+    if not items:
+        kind = "unfinished " if unfinished_only else ""
+        raise KeyError(f"no {kind}{label} under {where}")
+    return items[-1]
+
+
 @dataclasses.dataclass(frozen=True)
 class RunInfo:
     """A located run: its directory plus the parsed manifest."""
@@ -121,46 +177,18 @@ class RunStore:
 
     def find(self, run_id: str) -> RunInfo:
         """Locate a run by id (or unique id prefix) across experiments."""
-        matches = [r for r in self.list_runs()
-                   if r.run_id == run_id or r.run_id.startswith(run_id)]
-        exact = [r for r in matches if r.run_id == run_id]
-        if exact:
-            return exact[0]
-        if len(matches) == 1:
-            return matches[0]
-        if not matches:
-            raise KeyError(f"no run {run_id!r} under {self.root}")
-        raise KeyError(f"run id prefix {run_id!r} is ambiguous: "
-                       f"{[r.run_id for r in matches]}")
+        return resolve_id(self.list_runs(), run_id,
+                          lambda r: r.run_id, "run", self.root)
 
     def latest(self, experiment: str,
                unfinished_only: bool = False) -> RunInfo:
-        runs = self.list_runs(experiment)
-        if unfinished_only:
-            runs = [r for r in runs if r.status != "complete"]
-        if not runs:
-            kind = "unfinished " if unfinished_only else ""
-            raise KeyError(f"no {kind}runs of {experiment!r} under "
-                           f"{self.root}")
-        return runs[-1]
+        return pick_latest(self.list_runs(experiment), lambda r: r.status,
+                           f"runs of {experiment!r}", self.root,
+                           unfinished_only=unfinished_only)
 
     def records(self, run: RunInfo) -> List[dict]:
         """Parsed ``records.jsonl`` lines (skips a torn trailing line)."""
-        path = run.path / RECORDS_NAME
-        out: List[dict] = []
-        if not path.is_file():
-            return out
-        for line in path.read_text().splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                out.append(json.loads(line))
-            except json.JSONDecodeError:
-                # A run killed mid-write can leave a torn last line; every
-                # complete record before it is still valid.
-                continue
-        return out
+        return read_jsonl(run.path / RECORDS_NAME)
 
     def done_seeds(self, run: RunInfo) -> Dict[int, dict]:
         """seed -> record for every seed with an ``ok`` record on disk."""

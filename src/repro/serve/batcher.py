@@ -176,11 +176,16 @@ class MicroBatcher:
 
     # -- shutdown --------------------------------------------------------
 
-    def close(self, timeout: Optional[float] = None) -> None:
+    def close(self, timeout: Optional[float] = None) -> bool:
         """Graceful shutdown: drain queued requests, then join the workers.
 
         Requests already submitted are still batched and answered; new
         ``submit`` calls raise.  Safe to call more than once.
+
+        Returns ``True`` when the collector drained and exited within
+        ``timeout`` (every accepted request has its answer), ``False``
+        when the join timed out with requests still in flight — callers
+        that pass a timeout must check, not assume the drain happened.
         """
         with self._submit_lock:
             # Once the flag is set under the lock no further enqueue can
@@ -188,6 +193,7 @@ class MicroBatcher:
             # collector is guaranteed to drain it before exiting.
             self._closing.set()
         self._collector.join(timeout)
+        return not self._collector.is_alive()
 
     @property
     def closed(self) -> bool:

@@ -5,10 +5,12 @@ translates three routes onto :class:`~repro.serve.service.InferenceService`
 calls —
 
 ``POST /predict``
-    Body ``{"input": [...], "model": "...", "version": "..."}`` (model and
-    version optional; ``"inputs": [[...], ...]`` answers a list in one
-    request).  Response is the service's prediction dict (or a list of
-    them).
+    Body ``{"input": [...], "model": "...", "version": "...",
+    "use_cache": true}`` (model, version and use_cache optional;
+    ``"inputs": [[...], ...]`` answers a list in one request).
+    ``"use_cache": false`` forces real inference past the prediction
+    cache (the fresh result still refreshes the cache).  Response is the
+    service's prediction dict (or a list of them).
 ``GET /healthz``
     Liveness: status, model count, request count, uptime.
 ``GET /metrics``
@@ -18,6 +20,13 @@ calls —
 Each HTTP connection is handled on its own thread, so concurrent clients
 land in the micro-batcher together — the HTTP layer adds no serialization
 of its own.
+
+Connections are HTTP/1.1 keep-alive, which makes body accounting part of
+correctness: an error response sent with request bytes still unread would
+leave those bytes in front of the next request on the same connection and
+desync it.  Error paths therefore either drain the unread body first
+(small bodies, wrong route) or send ``Connection: close`` (oversized or
+unparseable-length requests, where draining is the wrong tool).
 """
 
 from __future__ import annotations
@@ -41,16 +50,29 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, fmt, *args):  # quiet by default
         pass
 
-    def _send_json(self, payload, status: int = 200) -> None:
+    def _send_json(self, payload, status: int = 200,
+                   close: bool = False) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if close:
+            self.send_header("Connection", "close")
+            self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json({"error": message}, status=status)
+    def _send_error_json(self, status: int, message: str,
+                         close: bool = False) -> None:
+        self._send_json({"error": message}, status=status, close=close)
+
+    def _drain_body(self, remaining: int) -> None:
+        """Discard unread request body so keep-alive framing stays aligned."""
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 64 * 1024))
+            if not chunk:
+                break
+            remaining -= len(chunk)
 
     # -- routes ----------------------------------------------------------
 
@@ -63,14 +85,35 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(404, f"no route {self.path}")
 
     def do_POST(self) -> None:  # noqa: N802
-        if self.path != "/predict":
-            self._send_error_json(404, f"no route {self.path}")
+        if self.headers.get("Transfer-Encoding"):
+            # The stdlib handler does not decode chunked bodies, so the
+            # request's end is unknowable; close to resync the connection.
+            self._send_error_json(
+                411, "chunked bodies unsupported; send Content-Length",
+                close=True)
             return
         try:
             length = int(self.headers.get("Content-Length", 0))
-            if length > MAX_BODY_BYTES:
-                self._send_error_json(413, "request body too large")
-                return
+        except (ValueError, TypeError):
+            length = -1
+        if length < 0:
+            # Without a parseable length this request's end is unknowable;
+            # the only way to resync the connection is to drop it.
+            self._send_error_json(400, "bad Content-Length", close=True)
+            return
+        if length > MAX_BODY_BYTES:
+            # Checked before any route handling (including the 404 drain
+            # below): draining would defeat the limit's point — reading
+            # the very bytes it refuses — so resync by closing instead.
+            self._send_error_json(413, "request body too large", close=True)
+            return
+        if self.path != "/predict":
+            self._drain_body(length)
+            self._send_error_json(404, f"no route {self.path}")
+            return
+        # The body is fully read from here on: 400s below are keep-alive
+        # safe.
+        try:
             request = json.loads(self.rfile.read(length) or b"{}")
         except (ValueError, TypeError) as exc:
             self._send_error_json(400, f"bad JSON body: {exc}")
@@ -82,13 +125,23 @@ class _Handler(BaseHTTPRequestHandler):
             return
         model = request.get("model")
         version = request.get("version")
+        use_cache = request.get("use_cache", True)
+        if not isinstance(use_cache, bool):
+            # bool("false") is True: a silently miscoerced string would
+            # invert the caller's intent, so demand a real JSON boolean.
+            self._send_error_json(
+                400, f'"use_cache" must be a JSON boolean, got '
+                     f'{use_cache!r}')
+            return
         try:
             if "inputs" in request:
                 payload = self.service.predict_many(
-                    request["inputs"], model=model, version=version)
+                    request["inputs"], model=model, version=version,
+                    use_cache=use_cache)
             elif "input" in request:
                 payload = self.service.predict(request["input"], model=model,
-                                               version=version)
+                                               version=version,
+                                               use_cache=use_cache)
             else:
                 self._send_error_json(
                     400, 'body needs "input" (one sample) or "inputs" '

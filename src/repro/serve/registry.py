@@ -138,7 +138,7 @@ class ModelRegistry:
             versions[version] = entry
             if self._default_name is None:
                 self._default_name = name
-            if activate or name not in self._active:
+            if activate:
                 self.activate(name, version)
         return entry
 

@@ -193,24 +193,41 @@ class InferenceService:
         payload = self.telemetry.snapshot()
         payload["cache"] = self.cache.stats()
         payload["models"] = self.registry.models()
+        # Snapshot under the lock: _batcher() inserts and shutdown()'s
+        # clear() mutate the dict concurrently with /metrics scrapes.
+        with self._lock:
+            active_batchers = len(self._batchers)
         payload["batching"] = {
             "max_batch": self.max_batch,
             "max_wait_ms": self.max_wait_ms,
             "workers": self.workers,
-            "active_batchers": len(self._batchers),
+            "active_batchers": active_batchers,
         }
         return payload
 
     # -- lifecycle -------------------------------------------------------
 
-    def shutdown(self) -> None:
-        """Drain every batcher (in-flight requests finish) and stop."""
+    def shutdown(self, timeout: Optional[float] = None) -> bool:
+        """Drain every batcher (in-flight requests finish) and stop.
+
+        Returns ``True`` when every batcher drained — with a ``timeout``,
+        ``False`` means at least one close timed out with requests still
+        in flight.  The timeout applies per batcher.  Undrained batchers
+        stay registered so a later ``shutdown()`` call re-joins them
+        instead of vacuously succeeding; only a ``True`` return means the
+        drain actually happened.
+        """
         with self._lock:
-            self._closed = True
-            batchers = list(self._batchers.values())
-            self._batchers.clear()
-        for batcher in batchers:
-            batcher.close()
+            self._closed = True  # _batcher() refuses new entries from here
+            batchers = dict(self._batchers)
+        drained = True
+        for key, batcher in batchers.items():
+            if batcher.close(timeout):
+                with self._lock:
+                    self._batchers.pop(key, None)
+            else:
+                drained = False
+        return drained
 
     @property
     def closed(self) -> bool:

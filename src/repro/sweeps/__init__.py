@@ -1,0 +1,29 @@
+"""Sweep orchestration: experiment surfaces over the PR 2 runner.
+
+The paper's headline results are sweeps — accuracy/energy vs. a knob, not
+single points — and this package turns one frozen
+:class:`~repro.experiments.spec.ExperimentSpec` into that surface:
+
+* :class:`SweepSpec` — grid + random axes (spec fields or dotted
+  ``params.<key>`` paths) expanded deterministically into points;
+* :class:`SweepRunner` — fans the points through the existing
+  :class:`~repro.experiments.runner.Runner`/run store (each point is an
+  ordinary resumable child run) and keeps a ``sweeps/<sweep_id>/`` index
+  linking child run ids, resumable mid-sweep;
+* :data:`SWEEPS` / :func:`get_sweep` — the registry of built-in sweep
+  families (``noise_robustness``, ``t_sweep``);
+* cross-point aggregation (best point, per-axis marginals, the JSONL
+  summary) lives in :mod:`repro.analysis.aggregate`.
+
+``python -m repro sweep run/show/compare`` is the CLI over all of it.
+"""
+
+from .runner import PointResult, SweepResult, SweepRunner, new_sweep_id
+from .scenarios import SWEEPS, SweepFamily, get_sweep, register_sweep
+from .spec import RandomAxis, SweepAxis, SweepPoint, SweepSpec, apply_overrides
+from .store import SweepInfo, SweepStore
+
+__all__ = ["PointResult", "RandomAxis", "SWEEPS", "SweepAxis", "SweepFamily",
+           "SweepInfo", "SweepPoint", "SweepResult", "SweepRunner",
+           "SweepSpec", "SweepStore", "apply_overrides", "get_sweep",
+           "new_sweep_id", "register_sweep"]

@@ -1,0 +1,189 @@
+"""The sweep runner: fan a SweepSpec's points through the experiment Runner.
+
+One ``SweepRunner.run(sweep)`` call expands the sweep and executes its
+points in order, each as an ordinary run of the existing
+:class:`~repro.experiments.runner.Runner` — so every point inherits the
+seed fan-out process pool, the checkpointing run store, and seed-level
+resume unchanged.  The sweep layer only adds the index: before a point
+starts, its freshly created child run id is committed to ``sweep.json``;
+after it finishes, a summary line (mean metrics over its seeds) is
+appended to ``summary.jsonl``.
+
+Resume is two-level.  ``resume=<sweep_id>`` re-expands the spec from the
+sweep manifest and walks the points again: finished points are skipped
+outright, and a point that was mid-flight when the sweep died is resumed
+*through the runner's own manifest machinery* — its finished seeds are
+not re-run either.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..analysis.aggregate import mean_metrics
+from ..experiments.runner import Runner, RunResult, new_run_id
+from .spec import SweepPoint, SweepSpec
+from .store import SweepInfo, SweepStore
+
+
+def new_sweep_id() -> str:
+    """Sweep ids share the run-id format (sortable stamp + hex suffix)."""
+    return new_run_id()
+
+
+@dataclasses.dataclass
+class PointResult:
+    """One executed (or skipped) point of a sweep."""
+
+    point: SweepPoint
+    run_id: str
+    status: str
+    summary: dict
+    skipped: bool = False
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """What ``SweepRunner.run`` hands back: the sweep plus its points."""
+
+    sweep: SweepInfo
+    points: List[PointResult]
+
+    @property
+    def sweep_id(self) -> str:
+        return self.sweep.sweep_id
+
+    @property
+    def sweep_dir(self) -> Path:
+        return self.sweep.path
+
+    @property
+    def status(self) -> str:
+        return self.sweep.status
+
+    def complete_points(self) -> List[PointResult]:
+        return [p for p in self.points if p.status == "complete"]
+
+
+class SweepRunner:
+    """Executes :class:`SweepSpec` expansions against a run + sweep store.
+
+    Parameters
+    ----------
+    out_root:
+        Root of the run store; the sweep index lives under
+        ``<out_root>/sweeps/`` and child runs in the store proper.
+    max_workers:
+        Passed through to the point runner's seed fan-out (``1`` runs
+        seeds inline).
+    runner:
+        An existing :class:`Runner` to share instead of building one —
+        points then reuse its store and pool configuration.
+    """
+
+    def __init__(self, out_root="runs", max_workers: Optional[int] = None,
+                 runner: Optional[Runner] = None):
+        self.runner = runner or Runner(out_root=out_root,
+                                       max_workers=max_workers)
+        self.store = SweepStore(self.runner.store.root)
+
+    def run(self, spec: Optional[SweepSpec] = None,
+            resume: Optional[str] = None,
+            progress: Optional[callable] = None) -> SweepResult:
+        """Run ``spec``, or resume an existing sweep.
+
+        ``resume`` is a sweep id (or unique prefix), or ``"latest"`` for
+        the newest unfinished sweep (of ``spec.name`` when a spec is
+        given).  A resumed sweep takes its spec from ``sweep.json``.
+        """
+        if resume is not None:
+            if resume == "latest":
+                sweep = self.store.latest(
+                    spec.name if spec is not None else None,
+                    unfinished_only=True)
+            else:
+                sweep = self.store.find(resume)
+            spec = sweep.spec()
+        else:
+            if spec is None:
+                raise ValueError("need a sweep spec or a sweep id to resume")
+            sweep = self.store.create_sweep(spec, new_sweep_id())
+
+        points = spec.expand()
+        state: Dict[str, dict] = {p["point_id"]: p for p in sweep.points()}
+        summaries = self.store.summaries(sweep)
+        results: List[PointResult] = []
+        failed = False
+        for point in points:
+            entry = state.get(point.point_id, {})
+            if entry.get("status") == "complete" \
+                    and point.point_id in summaries:
+                if progress is not None:
+                    progress(f"point {point.point_id} ({point.label}): "
+                             "already complete")
+                results.append(PointResult(
+                    point=point, run_id=entry.get("run_id", ""),
+                    status="complete",
+                    summary=summaries[point.point_id], skipped=True))
+                continue
+            sweep, result = self._run_point(sweep, point, entry, progress)
+            summary = self._summarize_point(point, result)
+            self.store.append_summary(sweep, summary)
+            sweep = self.store.update_point(
+                sweep, point.point_id, status=result.status
+                if result.status in ("complete", "failed") else "failed")
+            failed = failed or result.status != "complete"
+            results.append(PointResult(
+                point=point, run_id=result.run_id, status=result.status,
+                summary=summary))
+            if progress is not None:
+                progress(f"point {point.point_id} ({point.label}): "
+                         f"{result.status}")
+        sweep = self.store.update_status(
+            sweep, "failed" if failed else "complete")
+        return SweepResult(sweep=sweep, points=results)
+
+    # -- one point -------------------------------------------------------
+
+    def _run_point(self, sweep: SweepInfo, point: SweepPoint, entry: dict,
+                   progress: Optional[callable]):
+        """Execute one point as a child run, creating or resuming it.
+
+        The child run directory is created (and committed to the sweep
+        manifest) *before* any seed executes, so a sweep killed mid-point
+        finds the run again on resume and continues its finished seeds.
+        """
+        run_id = entry.get("run_id")
+        if run_id is None:
+            run = self.runner.store.create_run(point.spec, new_run_id())
+            run_id = run.run_id
+            sweep = self.store.update_point(sweep, point.point_id,
+                                            run_id=run_id, status="running")
+        else:
+            sweep = self.store.update_point(sweep, point.point_id,
+                                            status="running")
+        if progress is not None:
+            progress(f"point {point.point_id} ({point.label}) -> "
+                     f"run {run_id}")
+        result = self.runner.run(resume=run_id, progress=progress)
+        return sweep, result
+
+    @staticmethod
+    def _summarize_point(point: SweepPoint, result: RunResult) -> dict:
+        ok = result.ok_records()
+        return {
+            "point_id": point.point_id,
+            "overrides": point.overrides,
+            "run_id": result.run_id,
+            "status": result.status,
+            "experiment": point.spec.name,
+            "seeds_ok": len(ok),
+            "seeds_total": len(point.spec.seeds),
+            "duration_s": round(sum(r.get("duration_s", 0.0)
+                                    for r in result.records), 3),
+            "metrics": mean_metrics(ok),
+            "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        }

@@ -1,0 +1,106 @@
+"""Built-in sweeps reproducing the paper's results *surfaces*.
+
+``noise_robustness``
+    Input corruption level x dataset, over the ``noise_robustness``
+    scenario: how fast does online-EMSTDP accuracy fall off as the edge
+    sensor degrades, per dataset difficulty tier.
+``t_sweep``
+    Timing precision ``T`` (``phase_length``) x dataset, over the
+    ``timing_precision`` scenario: accuracy *and* modeled chip energy per
+    inference vs. the presentation length — extending the Fig. 3
+    accuracy/energy trade-off story to the time axis (a shorter phase is
+    linearly cheaper but quantizes the rate code harder).
+
+A sweep builder mirrors the scenario ``build_spec`` contract: it takes
+``tiny`` and returns a :class:`~repro.sweeps.spec.SweepSpec` (the tiny
+variants are 2x2 grids sized for the <60s CI smoke job).  Register new
+sweeps with :func:`register_sweep`; the CLI discovers them by name, and
+any plain scenario can still be swept ad hoc with ``--axis``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict
+
+from ..experiments.scenarios import get_scenario
+from .spec import SweepAxis, SweepSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepFamily:
+    """A named, buildable sweep."""
+
+    name: str
+    description: str
+    build_sweep: Callable[..., SweepSpec]
+
+
+SWEEPS: Dict[str, SweepFamily] = {}
+
+
+def register_sweep(family: SweepFamily) -> SweepFamily:
+    if family.name in SWEEPS:
+        raise ValueError(f"sweep {family.name!r} already registered")
+    SWEEPS[family.name] = family
+    return family
+
+
+def get_sweep(name: str) -> SweepFamily:
+    if name not in SWEEPS:
+        raise KeyError(
+            f"unknown sweep {name!r}; available: {sorted(SWEEPS)}")
+    return SWEEPS[name]
+
+
+# ---------------------------------------------------------------------------
+# noise_robustness: corruption level x dataset
+# ---------------------------------------------------------------------------
+
+def _noise_sweep(tiny: bool = False, **overrides) -> SweepSpec:
+    base = get_scenario("noise_robustness").build_spec(tiny=tiny)
+    if overrides:
+        base = base.replace(**overrides)
+    if tiny:
+        grid = (SweepAxis("params.noise_level", (0.0, 0.4)),
+                SweepAxis("dataset", ("mnist_like", "fashion_like")))
+    else:
+        grid = (SweepAxis("params.noise_level", (0.0, 0.1, 0.2, 0.4)),
+                SweepAxis("dataset", ("mnist_like", "fashion_like",
+                                      "cifar_like")))
+    return SweepSpec(name="noise_robustness", base=base, grid=grid,
+                     objective="rate.noisy_acc", mode="max")
+
+
+register_sweep(SweepFamily(
+    name="noise_robustness",
+    description="Input corruption level x dataset over the "
+                "noise_robustness scenario (accuracy fall-off surface)",
+    build_sweep=_noise_sweep,
+))
+
+
+# ---------------------------------------------------------------------------
+# t_sweep: timing precision x dataset
+# ---------------------------------------------------------------------------
+
+def _t_sweep(tiny: bool = False, **overrides) -> SweepSpec:
+    base = get_scenario("timing_precision").build_spec(tiny=tiny)
+    if overrides:
+        base = base.replace(**overrides)
+    if tiny:
+        grid = (SweepAxis("phase_length", (8, 16)),
+                SweepAxis("dataset", ("mnist_like", "fashion_like")))
+    else:
+        grid = (SweepAxis("phase_length", (8, 16, 32, 64)),
+                SweepAxis("dataset", ("mnist_like", "fashion_like")))
+    return SweepSpec(name="t_sweep", base=base, grid=grid,
+                     objective="rate.test_acc", mode="max")
+
+
+register_sweep(SweepFamily(
+    name="t_sweep",
+    description="Timing precision T x dataset over the timing_precision "
+                "scenario (accuracy + modeled energy vs. phase length)",
+    build_sweep=_t_sweep,
+))

@@ -1,0 +1,236 @@
+"""Declarative sweep configuration: axes over a base experiment spec.
+
+A :class:`SweepSpec` turns one frozen
+:class:`~repro.experiments.spec.ExperimentSpec` into a *surface* of
+experiments: grid axes are crossed (every combination becomes one point),
+random axes are jointly sampled ``n_random`` times and appended.  An axis
+names either a top-level spec field (``phase_length``, ``dataset``,
+``epochs``, ``hidden``, ...) or a dotted ``params.`` path merged into the
+spec's scenario-specific params (``params.noise_level``,
+``params.neurons_per_core``, ...).
+
+Like the experiment spec, a sweep spec is a frozen, JSON-round-trippable
+value: the sweep runner writes it into ``sweep.json`` and expansion is a
+pure function of the spec (random axes draw from ``rng_seed``), so a
+resumed sweep re-derives exactly the same points with the same ids.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..experiments.spec import ExperimentSpec
+
+PARAMS_PREFIX = "params."
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepAxis:
+    """One grid axis: ``field`` takes each of ``values`` in turn."""
+
+    field: str
+    values: Tuple[object, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.field:
+            raise ValueError("axis needs a field name")
+        if not self.values:
+            raise ValueError(f"axis {self.field!r} needs at least one value")
+
+    def to_dict(self) -> dict:
+        return {"field": self.field, "values": list(self.values)}
+
+
+@dataclasses.dataclass(frozen=True)
+class RandomAxis:
+    """One random-search axis: ``field`` is drawn from ``[low, high]``.
+
+    ``log=True`` samples uniformly in log-space (learning rates);
+    ``integer=True`` rounds the draw (layer widths, phase lengths).
+    """
+
+    field: str
+    low: float
+    high: float
+    log: bool = False
+    integer: bool = False
+
+    def __post_init__(self):
+        if not self.field:
+            raise ValueError("axis needs a field name")
+        if not self.low <= self.high:
+            raise ValueError(f"axis {self.field!r}: low > high")
+        if self.log and self.low <= 0:
+            raise ValueError(f"axis {self.field!r}: log sampling needs "
+                             "low > 0")
+
+    def draw(self, rng: np.random.Generator) -> object:
+        if self.log:
+            value = float(np.exp(rng.uniform(np.log(self.low),
+                                             np.log(self.high))))
+        else:
+            value = float(rng.uniform(self.low, self.high))
+        return int(round(value)) if self.integer else value
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One expanded point: its stable id, overrides, and concrete spec."""
+
+    point_id: str
+    overrides: Dict[str, object]
+    spec: ExperimentSpec
+
+    @property
+    def label(self) -> str:
+        return ",".join(f"{k}={v}" for k, v in self.overrides.items()) \
+            or "(base)"
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepSpec:
+    """A named family of experiment specs spanned by sweep axes.
+
+    Attributes
+    ----------
+    name:
+        Sweep name (also the registry key for the built-in sweeps).
+    base:
+        The :class:`ExperimentSpec` every point starts from; its ``name``
+        selects the scenario the points run.
+    grid:
+        Grid axes, crossed in order (first axis varies slowest).
+    random:
+        Random-search axes, jointly sampled ``n_random`` times on top of
+        the base values of the grid fields.
+    n_random:
+        Number of random draws to append (0 with random axes is an error).
+    rng_seed:
+        Seed of the random-axis generator — expansion is deterministic.
+    objective:
+        Dotted metric path (e.g. ``rate.test_acc``) the analysis layer
+        ranks points by; empty picks a default at report time.
+    mode:
+        ``"max"`` or ``"min"`` — which end of the objective is best.
+    """
+
+    name: str
+    base: ExperimentSpec
+    grid: Tuple[SweepAxis, ...] = ()
+    random: Tuple[RandomAxis, ...] = ()
+    n_random: int = 0
+    rng_seed: int = 0
+    objective: str = ""
+    mode: str = "max"
+
+    def __post_init__(self):
+        object.__setattr__(self, "grid", tuple(self.grid))
+        object.__setattr__(self, "random", tuple(self.random))
+        if self.mode not in ("max", "min"):
+            raise ValueError(f"mode must be 'max' or 'min', got {self.mode!r}")
+        if self.random and self.n_random <= 0:
+            raise ValueError("random axes need n_random > 0")
+        if self.n_random > 0 and not self.random:
+            raise ValueError("n_random > 0 needs at least one random axis")
+        if not self.grid and not self.random:
+            raise ValueError("a sweep needs at least one axis")
+        fields = [a.field for a in self.grid] + [a.field for a in self.random]
+        if len(set(fields)) != len(fields):
+            raise ValueError(f"duplicate axis fields in {fields}")
+
+    def replace(self, **changes) -> "SweepSpec":
+        return dataclasses.replace(self, **changes)
+
+    # -- expansion -------------------------------------------------------
+
+    def axis_fields(self) -> List[str]:
+        return [a.field for a in self.grid] + [a.field for a in self.random]
+
+    def expand(self) -> List[SweepPoint]:
+        """Every point of the sweep, in stable order with stable ids."""
+        combos: List[Dict[str, object]] = []
+        if self.grid:
+            for values in itertools.product(*(a.values for a in self.grid)):
+                combos.append({a.field: v
+                               for a, v in zip(self.grid, values)})
+        rng = np.random.default_rng(self.rng_seed)
+        for _ in range(self.n_random):
+            combos.append({a.field: a.draw(rng) for a in self.random})
+        width = max(3, len(str(len(combos) - 1)))
+        return [SweepPoint(point_id=f"p{i:0{width}d}", overrides=dict(ov),
+                           spec=apply_overrides(self.base, ov))
+                for i, ov in enumerate(combos)]
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "base": self.base.to_dict(),
+            "grid": [a.to_dict() for a in self.grid],
+            "random": [a.to_dict() for a in self.random],
+            "n_random": self.n_random,
+            "rng_seed": self.rng_seed,
+            "objective": self.objective,
+            "mode": self.mode,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SweepSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown sweep fields: {sorted(unknown)}")
+        d = dict(d)
+        d["base"] = ExperimentSpec.from_dict(d["base"])
+        d["grid"] = tuple(SweepAxis(**a) for a in d.get("grid", ()))
+        d["random"] = tuple(RandomAxis(**a) for a in d.get("random", ()))
+        return cls(**d)
+
+
+#: Spec fields whose value is a tuple: a scalar axis value means a
+#: 1-tuple (sweeping ``hidden`` over 64 and 128 means one width per
+#: point), and a bare string must not be iterated character-wise.
+_TUPLE_FIELDS = ("hidden", "backends", "seeds")
+
+
+def apply_overrides(base: ExperimentSpec,
+                    overrides: Dict[str, object]) -> ExperimentSpec:
+    """One point's spec: axis values written onto the base spec.
+
+    ``params.<key>`` paths merge into the base's ``params`` dict (the other
+    base params are kept); anything else must be a spec field.  A scalar
+    value for a tuple-valued field (``hidden``, ``backends``, ``seeds``)
+    becomes a 1-tuple — pass a list (e.g. a JSON axis value) for
+    multi-element points.
+    """
+    changes: Dict[str, object] = {}
+    params = dict(base.params)
+    params_touched = False
+    spec_fields = {f.name for f in dataclasses.fields(ExperimentSpec)}
+    for field, value in overrides.items():
+        if field.startswith(PARAMS_PREFIX):
+            params[field[len(PARAMS_PREFIX):]] = value
+            params_touched = True
+        elif field == "params":
+            raise ValueError("sweep 'params' via dotted params.<key> axes")
+        elif field in spec_fields:
+            if field in _TUPLE_FIELDS and not isinstance(value,
+                                                         (list, tuple)):
+                value = (value,)
+            changes[field] = value
+        else:
+            raise ValueError(
+                f"axis field {field!r} is neither an ExperimentSpec field "
+                f"nor a params.<key> path")
+    if params_touched:
+        changes["params"] = params
+    return base.replace(**changes) if changes else base

@@ -1,0 +1,164 @@
+"""The on-disk sweep index: ``<run-store-root>/sweeps/<sweep_id>/``.
+
+Layout of one sweep directory::
+
+    runs/sweeps/20260729-103015-ab12cd/
+        sweep.json        # SweepSpec + per-point status/run ids (atomic)
+        summary.jsonl     # one line per finished point, appended as done
+
+``sweep.json`` is the source of truth for resuming: it embeds the full
+:class:`~repro.sweeps.spec.SweepSpec` (so expansion re-derives the same
+points) plus, per point, the child run id and status.  Child runs live in
+the ordinary experiment run store — a sweep only *links* them, so every
+existing tool (``repro show``, checkpoint loading, seed-level resume)
+keeps working on the children.
+
+The ``sweeps/`` directory sits inside the run-store root but holds no
+``manifest.json`` files, so :class:`~repro.experiments.store.RunStore`
+listings skip it cleanly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..experiments.store import pick_latest, read_jsonl, resolve_id
+from .spec import SweepSpec
+
+SWEEPS_DIR_NAME = "sweeps"
+SWEEP_MANIFEST_NAME = "sweep.json"
+SWEEP_SUMMARY_NAME = "summary.jsonl"
+
+#: Bump when the sweep-directory layout changes.
+SWEEP_FORMAT_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepInfo:
+    """A located sweep: its directory plus the parsed manifest."""
+
+    sweep_id: str
+    path: Path
+    manifest: dict
+
+    @property
+    def name(self) -> str:
+        return self.manifest.get("name", "?")
+
+    @property
+    def status(self) -> str:
+        return self.manifest.get("status", "unknown")
+
+    def spec(self) -> SweepSpec:
+        return SweepSpec.from_dict(self.manifest["spec"])
+
+    def points(self) -> List[dict]:
+        """Per-point state: ``{point_id, overrides, run_id, status}``."""
+        return list(self.manifest.get("points", []))
+
+
+class SweepStore:
+    """Reads and writes the ``sweeps/`` directory tree."""
+
+    def __init__(self, root="runs"):
+        self.root = Path(root) / SWEEPS_DIR_NAME
+
+    def sweep_dir(self, sweep_id: str) -> Path:
+        return self.root / sweep_id
+
+    # -- writing ---------------------------------------------------------
+
+    def create_sweep(self, spec: SweepSpec, sweep_id: str) -> SweepInfo:
+        from .. import __version__
+
+        path = self.sweep_dir(sweep_id)
+        if path.exists():
+            raise FileExistsError(f"sweep directory {path} already exists")
+        path.mkdir(parents=True)
+        manifest = {
+            "sweep_format_version": SWEEP_FORMAT_VERSION,
+            "repro_version": __version__,
+            "name": spec.name,
+            "sweep_id": sweep_id,
+            "spec": spec.to_dict(),
+            "status": "running",
+            "points": [
+                {"point_id": p.point_id, "overrides": p.overrides,
+                 "run_id": None, "status": "pending"}
+                for p in spec.expand()
+            ],
+        }
+        self._write_manifest(path, manifest)
+        (path / SWEEP_SUMMARY_NAME).touch()
+        return SweepInfo(sweep_id, path, manifest)
+
+    def update_point(self, sweep: SweepInfo, point_id: str,
+                     run_id: Optional[str] = None,
+                     status: Optional[str] = None) -> SweepInfo:
+        manifest = json.loads(json.dumps(sweep.manifest))  # deep copy
+        for point in manifest["points"]:
+            if point["point_id"] == point_id:
+                if run_id is not None:
+                    point["run_id"] = run_id
+                if status is not None:
+                    point["status"] = status
+                break
+        else:
+            raise KeyError(f"no point {point_id!r} in sweep "
+                           f"{sweep.sweep_id}")
+        self._write_manifest(sweep.path, manifest)
+        return SweepInfo(sweep.sweep_id, sweep.path, manifest)
+
+    def update_status(self, sweep: SweepInfo, status: str) -> SweepInfo:
+        manifest = dict(sweep.manifest)
+        manifest["status"] = status
+        self._write_manifest(sweep.path, manifest)
+        return SweepInfo(sweep.sweep_id, sweep.path, manifest)
+
+    def append_summary(self, sweep: SweepInfo, line: dict) -> None:
+        with (sweep.path / SWEEP_SUMMARY_NAME).open("a") as fh:
+            fh.write(json.dumps(line, sort_keys=True) + "\n")
+            fh.flush()
+
+    @staticmethod
+    def _write_manifest(path: Path, manifest: dict) -> None:
+        tmp = path / (SWEEP_MANIFEST_NAME + ".tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        tmp.replace(path / SWEEP_MANIFEST_NAME)
+
+    # -- reading ---------------------------------------------------------
+
+    def list_sweeps(self, name: Optional[str] = None) -> List[SweepInfo]:
+        """All sweeps (oldest directory name first), optionally by name."""
+        sweeps: List[SweepInfo] = []
+        if not self.root.is_dir():
+            return sweeps
+        for sweep_dir in sorted(self.root.iterdir()):
+            manifest_path = sweep_dir / SWEEP_MANIFEST_NAME
+            if not manifest_path.is_file():
+                continue
+            manifest = json.loads(manifest_path.read_text())
+            if name is not None and manifest.get("name") != name:
+                continue
+            sweeps.append(SweepInfo(sweep_dir.name, sweep_dir, manifest))
+        return sweeps
+
+    def find(self, sweep_id: str) -> SweepInfo:
+        """Locate a sweep by id (or unique id prefix)."""
+        return resolve_id(self.list_sweeps(), sweep_id,
+                          lambda s: s.sweep_id, "sweep", self.root)
+
+    def latest(self, name: Optional[str] = None,
+               unfinished_only: bool = False) -> SweepInfo:
+        label = f"sweeps of {name!r}" if name else "sweeps"
+        return pick_latest(self.list_sweeps(name), lambda s: s.status,
+                           label, self.root,
+                           unfinished_only=unfinished_only)
+
+    def summaries(self, sweep: SweepInfo) -> Dict[str, dict]:
+        """point_id -> last summary line on disk (skips torn lines)."""
+        return {entry["point_id"]: entry for entry in
+                read_jsonl(sweep.path / SWEEP_SUMMARY_NAME)}

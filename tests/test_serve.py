@@ -6,6 +6,7 @@ checkpoint round trips through the registry for all three model families,
 and graceful service shutdown with requests still in flight.
 """
 
+import http.client
 import json
 import threading
 import time
@@ -110,6 +111,33 @@ def test_batcher_runner_exception_propagates_to_every_request():
                 f.result(timeout=5)
     finally:
         batcher.close()
+
+
+def test_batcher_close_reports_drained():
+    calls = []
+    batcher = MicroBatcher(_echo_runner(calls), max_batch=2, max_wait_ms=1.0)
+    batcher.submit(np.zeros(3)).result(timeout=5)
+    assert batcher.close() is True
+    assert batcher.close() is True  # idempotent, still drained
+
+
+def test_batcher_close_timeout_reports_not_drained():
+    release = threading.Event()
+
+    def stuck(X):
+        release.wait(timeout=10)
+        return [float(row[0]) for row in X]
+
+    batcher = MicroBatcher(stuck, max_batch=1, max_wait_ms=0.0)
+    future = batcher.submit(np.zeros(3))
+    try:
+        # The runner is blocked, so a bounded close must say "not drained"
+        # instead of silently returning with the request still in flight.
+        assert batcher.close(timeout=0.05) is False
+    finally:
+        release.set()
+    assert batcher.close(timeout=5) is True
+    assert future.result(timeout=5).value == 0.0
 
 
 def test_batcher_shutdown_completes_in_flight_requests():
@@ -368,6 +396,74 @@ def test_service_metrics_shape_and_load_generator():
     assert metrics["models"][0]["model_class"] == "EMSTDPNetwork"
 
 
+def test_service_shutdown_surfaces_undrained_batcher():
+    release = threading.Event()
+    net = _trained_net()
+    real = net.predict_batch
+
+    def stuck_predict_batch(X):
+        release.wait(timeout=10)
+        return real(X)
+
+    net.predict_batch = stuck_predict_batch
+    registry = ModelRegistry()
+    registry.register("net", net)
+    service = InferenceService(registry, max_batch=1, max_wait_ms=0.0)
+    xs, _ = _task(seed=9)
+    client = threading.Thread(target=lambda: service.predict(xs[0]),
+                              daemon=True)
+    client.start()
+    time.sleep(0.02)  # let the request reach the stuck batcher
+    try:
+        assert service.shutdown(timeout=0.05) is False
+        # The undrained batcher must stay registered for the retry —
+        # otherwise the next shutdown would vacuously report success.
+        assert service.metrics()["batching"]["active_batchers"] == 1
+    finally:
+        release.set()
+    client.join(timeout=5)
+    # An unbounded retry after release performs the real drain.
+    assert service.shutdown() is True
+    assert service.metrics()["batching"]["active_batchers"] == 0
+
+
+def test_service_metrics_concurrent_with_predict_load():
+    registry = ModelRegistry()
+    # Several names: each first prediction inserts a new batcher into the
+    # dict that metrics() snapshots concurrently.
+    for i in range(4):
+        registry.register(f"net{i}", _trained_net(seed=i, n_train=8))
+    service = InferenceService(registry, max_batch=4, max_wait_ms=1.0)
+    xs, _ = _task(seed=9)
+    errors = []
+    stop = threading.Event()
+
+    def scraper():
+        while not stop.is_set():
+            try:
+                snap = service.metrics()
+                assert snap["batching"]["active_batchers"] >= 0
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+                return
+
+    scrapers = [threading.Thread(target=scraper, daemon=True)
+                for _ in range(3)]
+    for t in scrapers:
+        t.start()
+    try:
+        for j in range(12):
+            service.predict(xs[j % len(xs)], model=f"net{j % 4}",
+                            use_cache=False)
+    finally:
+        stop.set()
+        for t in scrapers:
+            t.join(timeout=5)
+        service.shutdown()
+    assert not errors
+    assert service.metrics()["batching"]["active_batchers"] == 0
+
+
 def test_service_unknown_model_raises_and_counts_error():
     registry = ModelRegistry()
     registry.register("net", _trained_net())
@@ -419,6 +515,113 @@ def test_http_predict_healthz_metrics(http_server):
     status, metrics = _get(http_server.url + "/metrics")
     assert status == 200 and metrics["requests"] == 4
     assert "p99" in metrics["latency_ms"]
+
+
+def test_http_use_cache_false_forces_inference(http_server):
+    xs, _ = _task(seed=9)
+    body = {"input": xs[0].tolist()}
+    _post(http_server.url + "/predict", body)
+    _, cached = _post(http_server.url + "/predict", body)
+    assert cached["cached"]  # baseline: repeats hit the cache
+    # use_cache=false must reach the model even for a cached input...
+    _, fresh = _post(http_server.url + "/predict",
+                     {**body, "use_cache": False})
+    assert not fresh["cached"] and fresh["batch_size"] >= 1
+    assert fresh["energy_mj"] > 0.0
+    assert fresh["prediction"] == cached["prediction"]
+    # ...for the batched "inputs" form too.
+    _, many = _post(http_server.url + "/predict",
+                    {"inputs": [xs[0].tolist()] * 2, "use_cache": False})
+    assert all(not r["cached"] for r in many)
+    # The JSON-string pitfall: bool("false") is True, so a non-boolean
+    # use_cache must be rejected rather than silently inverted.
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _post(http_server.url + "/predict",
+              {**body, "use_cache": "false"})
+    assert err.value.code == 400
+
+
+def test_http_keep_alive_survives_error_responses(http_server):
+    """One connection: error responses must not desync later requests."""
+    xs, _ = _task(seed=9)
+    good = json.dumps({"input": xs[0].tolist()}).encode()
+    host, port = http_server.address
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        # 404 with an unread body: the server must drain it.
+        conn.request("POST", "/nowhere", body=b'{"input": [1, 2, 3]}',
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        assert resp.status == 404
+        resp.read()
+        # 400 bad JSON, then a success on the same socket.
+        conn.request("POST", "/predict", body=b'{"input": [0.1,',
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        assert resp.status == 400
+        resp.read()
+        conn.request("POST", "/predict", body=good,
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        assert resp.status == 200
+        payload = json.loads(resp.read())
+        assert isinstance(payload["prediction"], int)
+    finally:
+        conn.close()
+
+
+@pytest.mark.parametrize("path", ["/predict", "/nowhere"])
+def test_http_oversized_body_closes_connection(http_server, path):
+    """413 cannot drain (that would read the refused bytes): it closes.
+
+    The limit must hold on *every* POST route — an unknown path must not
+    fall through to the 404 drain and read an unbounded body.
+    """
+    from repro.serve.http import MAX_BODY_BYTES
+
+    host, port = http_server.address
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.putrequest("POST", path)
+        conn.putheader("Content-Type", "application/json")
+        conn.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+        conn.endheaders()
+        # The server answers before the (never sent) body arrives.
+        resp = conn.getresponse()
+        assert resp.status == 413
+        assert resp.getheader("Connection") == "close"
+        resp.read()
+    finally:
+        conn.close()
+
+
+def test_http_chunked_body_is_rejected_with_close(http_server):
+    """No Content-Length means no framing: 411 + Connection: close."""
+    host, port = http_server.address
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.putrequest("POST", "/predict")
+        conn.putheader("Content-Type", "application/json")
+        conn.putheader("Transfer-Encoding", "chunked")
+        conn.endheaders()
+        resp = conn.getresponse()
+        assert resp.status == 411
+        assert resp.getheader("Connection") == "close"
+        resp.read()
+    finally:
+        conn.close()
+
+
+def test_registry_register_without_activate_stages_the_version():
+    registry = ModelRegistry()
+    staged = registry.register("canary", _trained_net(seed=1),
+                               activate=False)
+    # The staged version must not serve traffic yet...
+    with pytest.raises(KeyError, match="no active version"):
+        registry.resolve("canary")
+    # ...until it is explicitly activated.
+    registry.activate("canary", staged.version)
+    assert registry.resolve("canary") is staged
 
 
 def test_http_error_statuses(http_server):
