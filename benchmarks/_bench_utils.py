@@ -19,18 +19,29 @@ from repro.data import load_dataset, make_blobs  # noqa: F401  (re-exported)
 from repro.models import ConvFrontend, paper_topology
 
 
+#: Where benchmark JSON lands when ``$BENCH_RESULTS_DIR`` is unset: the
+#: repository root (this file's grandparent), NOT the current directory.
+#: Anchoring on the file keeps the destination deterministic however the
+#: benchmark is invoked (`pytest benchmarks/...` from the root, from inside
+#: ``benchmarks/``, or via an absolute path in CI) — with a cwd-relative
+#: default, local runs scattered the files or silently dropped them
+#: elsewhere, which is why the repo never accumulated its ``BENCH_*.json``
+#: trajectory.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
 def write_bench_json(name: str, payload: dict) -> Path:
     """Persist one benchmark's results as machine-readable JSON.
 
     Writes ``BENCH_<name>[_<variant>].json`` into ``$BENCH_RESULTS_DIR``
-    (default: the current directory), stamped with the repro version and
+    (default: the repository root), stamped with the repro version and
     wall-clock time, so CI can upload the files as artifacts and the
     performance trajectory is trackable across commits instead of living
     only in log scrollback.  A ``variant`` key in the payload becomes a
     filename suffix so smoke and full runs of one benchmark never
     overwrite each other.
     """
-    out_dir = Path(os.environ.get("BENCH_RESULTS_DIR", "."))
+    out_dir = Path(os.environ.get("BENCH_RESULTS_DIR", REPO_ROOT))
     out_dir.mkdir(parents=True, exist_ok=True)
     variant = payload.get("variant")
     stem = f"BENCH_{name}_{variant}" if variant else f"BENCH_{name}"

@@ -355,7 +355,7 @@ def _split_axis_values(text: str) -> List[str]:
 
 
 def _parse_axes(axis_args: List[str]):
-    from .sweeps import SweepAxis
+    from .sweeps import SweepAxis, coerce_axis_value
 
     axes = []
     for arg in axis_args:
@@ -363,8 +363,12 @@ def _parse_axes(axis_args: List[str]):
         if not field or not values:
             raise ValueError(
                 f"--axis wants FIELD=V1,V2,..., got {arg!r}")
+        # Coerce each value to the spec field's declared type right here,
+        # so `--axis phase_length=16,32` never reaches a spec as strings
+        # and a typoed field name fails before any point runs.
         axes.append(SweepAxis(field, tuple(
-            _parse_axis_value(v) for v in _split_axis_values(values))))
+            coerce_axis_value(field, _parse_axis_value(v))
+            for v in _split_axis_values(values))))
     return axes
 
 

@@ -31,10 +31,60 @@ from .synth import Dataset
 CORRUPTIONS = ("gaussian", "salt_pepper", "occlusion")
 
 
+def _spatial_view(images: np.ndarray,
+                  image_shape: Optional[tuple]) -> np.ndarray:
+    """A ``(N, H, W[, C])`` view of ``images`` for spatial corruptions.
+
+    Flat ``(N, D)`` batches are reshaped through ``image_shape`` (e.g. a
+    dataset's ``image_shape`` property); without one, a square ``(s, s)``
+    geometry is inferred when ``D`` is a perfect square, otherwise the
+    caller gets a clear error instead of a bogus occlusion.
+    """
+    if images.ndim >= 3:
+        return images
+    if images.ndim != 2:
+        raise ValueError(
+            f"images must be (N, H, W[, C]) or flat (N, D), "
+            f"got shape {images.shape}")
+    n, d = images.shape
+    if image_shape is None:
+        side = int(round(np.sqrt(d)))
+        if side * side != d:
+            raise ValueError(
+                f"cannot infer the image geometry of flat ({n}, {d}) input: "
+                f"{d} is not a perfect square; pass image_shape=(H, W[, C]) "
+                "(e.g. the dataset's image_shape)")
+        image_shape = (side, side)
+    image_shape = tuple(int(s) for s in image_shape)
+    if len(image_shape) not in (2, 3):
+        raise ValueError(
+            f"image_shape must be (H, W) or (H, W, C), got {image_shape}")
+    if int(np.prod(image_shape)) != d:
+        raise ValueError(
+            f"image_shape {image_shape} has {int(np.prod(image_shape))} "
+            f"pixels but flat input has {d}")
+    return images.reshape((n,) + image_shape)
+
+
 def corrupt_images(images: np.ndarray, level: float,
                    rng: Optional[Union[int, np.random.Generator]] = None,
-                   kind: str = "gaussian") -> np.ndarray:
-    """Corrupted copy of ``images`` (leading batch dim) at ``level``."""
+                   kind: str = "gaussian",
+                   image_shape: Optional[tuple] = None) -> np.ndarray:
+    """Corrupted copy of ``images`` at ``level``.
+
+    Accepted input shapes (leading batch dim in all cases):
+
+    * ``(N, H, W)`` — grayscale images;
+    * ``(N, H, W, C)`` — channels-last images (an occlusion patch zeroes
+      *all* channels of the covered pixels);
+    * ``(N, D)`` — flat vectors.  ``gaussian`` and ``salt_pepper`` are
+      pixelwise and work directly; ``occlusion`` is spatial, so flat input
+      is reshaped through ``image_shape`` (pass the dataset's
+      ``image_shape``), falling back to a square ``(sqrt(D), sqrt(D))``
+      geometry when ``D`` is a perfect square.
+
+    The returned array always has the same shape as the input.
+    """
     if not 0.0 <= level <= 1.0:
         raise ValueError(f"corruption level must be in [0, 1], got {level}")
     if kind not in CORRUPTIONS:
@@ -56,10 +106,11 @@ def corrupt_images(images: np.ndarray, level: float,
         return out
     # occlusion: one square patch per image, area fraction = level
     out = images.copy()
-    side_r, side_c = images.shape[1], images.shape[2]
+    spatial = _spatial_view(out, image_shape)  # a view: writes land in out
+    side_r, side_c = spatial.shape[1], spatial.shape[2]
     patch_r = max(1, int(round(side_r * np.sqrt(level))))
     patch_c = max(1, int(round(side_c * np.sqrt(level))))
-    for img in out:
+    for img in spatial:
         r0 = int(rng.integers(0, side_r - patch_r + 1))
         c0 = int(rng.integers(0, side_c - patch_c + 1))
         img[r0:r0 + patch_r, c0:c0 + patch_c] = 0.0
@@ -69,5 +120,7 @@ def corrupt_images(images: np.ndarray, level: float,
 def corrupt_dataset(ds: Dataset, level: float, seed: int = 0,
                     kind: str = "gaussian") -> Dataset:
     """A corrupted copy of ``ds`` (labels untouched)."""
-    return Dataset(corrupt_images(ds.images, level, rng=seed, kind=kind),
+    shape = ds.image_shape if len(ds.image_shape) >= 2 else None
+    return Dataset(corrupt_images(ds.images, level, rng=seed, kind=kind,
+                                  image_shape=shape),
                    ds.labels, name=ds.name, n_classes=ds.n_classes)

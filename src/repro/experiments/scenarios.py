@@ -159,6 +159,32 @@ def _run_soft_backend(spec, seed, backend, dims, xs, ys, xte, yte):
     return model, {"train_acc": float(train_acc), "test_acc": float(test_acc)}
 
 
+def _run_backend(spec, seed, backend, dims, xs, ys, xte, yte,
+                 train=None, test=None, frontend=None):
+    """Dispatch one backend: soft families or the chip's batched runtime.
+
+    The chip path needs the raw datasets (labels and optional frontend
+    features come from them); scenarios that load data pass them through so
+    ``backend="chip"``/``"chip:fa"``/``"chip:dfa"`` works everywhere, not
+    just in ``offline_accuracy``.
+    """
+    if backend.startswith("chip"):
+        if train is None or test is None:
+            raise ValueError(
+                f"backend {backend!r} needs the scenario's datasets")
+        return _run_chip_backend(spec, seed, backend, frontend,
+                                 train, test, xs, xte)
+    return _run_soft_backend(spec, seed, backend, dims, xs, ys, xte, yte)
+
+
+def _model_T(model) -> int:
+    """Phase length of any backend (the chip trainer nests its config)."""
+    config = getattr(model, "config", None)
+    if config is None:
+        config = getattr(getattr(model, "model", None), "config", None)
+    return int(config.T) if config is not None else 1
+
+
 def _run_chip_backend(spec, seed, backend, frontend, train, test, xs, xte):
     from ..models.convert import frontend_matrices
     from ..onchip import LoihiEMSTDPTrainer, build_emstdp_network
@@ -182,13 +208,22 @@ def _run_chip_backend(spec, seed, backend, frontend, train, test, xs, xte):
         model = build_emstdp_network(spec.dims(xs.shape[1]), cfg)
         tx, ttx = xs, xte
     trainer = LoihiEMSTDPTrainer(
-        model, neurons_per_core=int(p.get("neurons_per_core", 10)))
+        model, neurons_per_core=int(p.get("neurons_per_core", 10)),
+        batch_replicas=int(p.get("chip_batch_replicas", 16)))
     lim = min(int(p.get("chip_train_limit", len(tx))), len(tx))
     tlim = min(int(p.get("chip_test_limit", len(ttx))), len(ttx))
+    # Training keeps the paper's online semantics by default; the
+    # batch-parallel replicated runtime ("minibatch", frozen weights +
+    # mean-of-deltas write-back) is opt-in per spec.
+    update_mode = str(p.get("chip_update_mode", "online"))
     train_acc = 0.0
     for _ in range(spec.epochs):
-        train_acc = trainer.train_stream(tx[:lim], train.labels[:lim])
-    test_acc = trainer.evaluate(ttx[:tlim], test.labels[:tlim])
+        out = trainer.fit_batch(tx[:lim], train.labels[:lim],
+                                update_mode=update_mode)
+        train_acc = out["accuracy"]
+    # Evaluation always rides the batched replicated runtime (inference is
+    # deterministic, so this equals the sequential loop exactly).
+    test_acc = trainer.evaluate_batch(ttx[:tlim], test.labels[:tlim])
     report = trainer.energy_report()
     return trainer, {
         "train_acc": float(train_acc), "test_acc": float(test_acc),
@@ -407,15 +442,15 @@ def _run_noise_seed(spec: ExperimentSpec, seed: int,
     metrics: Dict[str, dict] = {}
     checkpoints: Dict[str, str] = {}
     for backend in spec.backends:
-        model, entry = _run_soft_backend(spec, seed, backend, dims,
-                                         xs, ys, xte, yte)
+        model, entry = _run_backend(spec, seed, backend, dims,
+                                    xs, ys, xte, yte, train=train, test=test)
         noisy_acc = float(model.evaluate_batch(xno, yte))
         entry["noisy_acc"] = noisy_acc
         entry["degradation"] = float(entry["test_acc"] - noisy_acc)
         entry["noise_level"] = level
         metrics[backend] = entry
         if ckpt_dir is not None:
-            stem = Path(ckpt_dir) / f"seed{seed}-{backend}"
+            stem = Path(ckpt_dir) / f"seed{seed}-{backend.replace(':', '-')}"
             save_checkpoint(model, stem, meta={
                 "experiment": spec.name, "seed": seed, "backend": backend,
                 "noise_level": level, "noise_kind": kind})
@@ -473,15 +508,14 @@ def _run_timing_seed(spec: ExperimentSpec, seed: int,
     metrics: Dict[str, dict] = {}
     checkpoints: Dict[str, str] = {}
     for backend in spec.backends:
-        model, entry = _run_soft_backend(spec, seed, backend, dims,
-                                         xs, ys, xte, yte)
-        config = getattr(model, "config", None)
-        entry["T"] = int(config.T) if config is not None else 1
+        model, entry = _run_backend(spec, seed, backend, dims,
+                                    xs, ys, xte, yte, train=train, test=test)
+        entry["T"] = _model_T(model)
         entry["energy_mj_per_inference"] = float(
             estimate_request_energy_mj(model))
         metrics[backend] = entry
         if ckpt_dir is not None:
-            stem = Path(ckpt_dir) / f"seed{seed}-{backend}"
+            stem = Path(ckpt_dir) / f"seed{seed}-{backend.replace(':', '-')}"
             save_checkpoint(model, stem, meta={
                 "experiment": spec.name, "seed": seed, "backend": backend,
                 "T": entry["T"]})

@@ -13,10 +13,10 @@ from .compartment import (CompartmentGroup, CompartmentPrototype, MANT_SHIFT,
 from .core import CoreResourceError, CoreSpec, NeuroCore
 from .energy import (EnergyModel, EnergyModelParams, EnergyReport, RunStats)
 from .mapping import (GroupPlacement, Mapper, Mapping,
-                      optimal_neurons_per_core)
+                      optimal_neurons_per_core, shard_groups)
 from .microcode import (Factor, LearningEngine, ProductTerm, SumOfProducts,
                         emstdp_rules, parse_rule, phase1_tag_rules)
-from .runtime import Runtime
+from .runtime import Runtime, ShardedRuntime
 from .sdk import Network
 from .synapse import ConnectionGroup, TAG_MAX, WEIGHT_MANT_MAX
 from .traces import TraceConfig, TraceState, counter_trace
@@ -26,8 +26,8 @@ __all__ = [
     "CoreResourceError", "CoreSpec", "EnergyModel", "EnergyModelParams",
     "EnergyReport", "Factor", "GroupPlacement", "LearningEngine", "LoihiChip",
     "MANT_SHIFT", "Mapper", "Mapping", "Network", "NeuroCore", "ProductTerm",
-    "RunStats", "Runtime", "SumOfProducts", "TAG_MAX", "TraceConfig",
-    "TraceState", "WEIGHT_MANT_MAX", "counter_trace", "emstdp_rules",
-    "if_prototype", "optimal_neurons_per_core", "parse_rule",
-    "phase1_tag_rules",
+    "RunStats", "Runtime", "ShardedRuntime", "SumOfProducts", "TAG_MAX",
+    "TraceConfig", "TraceState", "WEIGHT_MANT_MAX", "counter_trace",
+    "emstdp_rules", "if_prototype", "optimal_neurons_per_core", "parse_rule",
+    "phase1_tag_rules", "shard_groups",
 ]

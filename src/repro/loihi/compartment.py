@@ -99,19 +99,28 @@ class CompartmentGroup:
     ``aux.active()`` (Section III-A's multi-compartment error neurons).
     """
 
-    def __init__(self, n: int, proto: CompartmentPrototype, name: str = ""):
+    def __init__(self, n: int, proto: CompartmentPrototype, name: str = "",
+                 replicas: int = 1):
         if n < 1:
             raise ValueError("group must contain at least one compartment")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
         self.n = int(n)
         self.proto = proto
         self.name = name or f"group{id(self):x}"
-        self.u = np.zeros(self.n, dtype=np.int64)
-        self.v = np.zeros(self.n, dtype=np.int64)
-        self.bias = np.full(self.n, proto.bias_mant << MANT_SHIFT,
+        #: Number of independent network replicas sharing this declaration.
+        #: ``replicas == 1`` keeps the historical 1-D state layout; with
+        #: ``replicas > 1`` every state array gains a leading replica axis,
+        #: so one vectorized step advances all replicas at once.
+        self.replicas = int(replicas)
+        shape = self.state_shape
+        self.u = np.zeros(shape, dtype=np.int64)
+        self.v = np.zeros(shape, dtype=np.int64)
+        self.bias = np.full(shape, proto.bias_mant << MANT_SHIFT,
                             dtype=np.int64)
-        self.spikes = np.zeros(self.n, dtype=bool)
-        self.spike_count = np.zeros(self.n, dtype=np.int64)
-        self._refrac = np.zeros(self.n, dtype=np.int64)
+        self.spikes = np.zeros(shape, dtype=bool)
+        self.spike_count = np.zeros(shape, dtype=np.int64)
+        self._refrac = np.zeros(shape, dtype=np.int64)
         #: Optional gate: a group whose ``active()`` mask ANDs our spikes.
         self.gate_group: Optional["CompartmentGroup"] = None
         #: Host-controlled enable flag (the phase gate used by the trainer).
@@ -128,13 +137,28 @@ class CompartmentGroup:
         #: contributes with a one-step delay.
         self.merge_group: Optional["CompartmentGroup"] = None
 
+    @property
+    def state_shape(self):
+        """Shape of every state array: ``(n,)`` or ``(replicas, n)``."""
+        return (self.n,) if self.replicas == 1 else (self.replicas, self.n)
+
     # -- state management -------------------------------------------------
 
     def set_bias(self, bias: np.ndarray) -> None:
-        """Program per-compartment biases (integer potential units)."""
+        """Program per-compartment biases (integer potential units).
+
+        A ``(n,)`` vector is broadcast to every replica; a replicated group
+        also accepts a ``(replicas, n)`` block programming each replica
+        independently (how the batched trainer injects one sample per
+        replica).
+        """
         bias = np.asarray(bias)
-        if bias.shape != (self.n,):
-            raise ValueError(f"bias must have shape ({self.n},)")
+        if bias.shape == (self.n,) and self.replicas > 1:
+            bias = np.broadcast_to(bias, self.state_shape)
+        if bias.shape != self.state_shape:
+            raise ValueError(
+                f"bias must have shape {self.state_shape} (or ({self.n},)), "
+                f"got {bias.shape}")
         self.bias = bias.astype(np.int64)
 
     def set_bias_mant(self, bias_mant: np.ndarray) -> None:
@@ -182,7 +206,7 @@ class CompartmentGroup:
         phase gate of the two-phase EMSTDP schedule).
         """
         if not self.enabled:
-            self.spikes = np.zeros(self.n, dtype=bool)
+            self.spikes = np.zeros(self.state_shape, dtype=bool)
             return self.spikes
         syn_input = np.asarray(syn_input, dtype=np.int64)
         p = self.proto
@@ -195,7 +219,7 @@ class CompartmentGroup:
         if p.floor_at_zero:
             np.clip(self.v, 0, None, out=self.v)
         if p.non_spiking:
-            self.spikes = np.zeros(self.n, dtype=bool)
+            self.spikes = np.zeros(self.state_shape, dtype=bool)
             return self.spikes
         fired = ok & (self.v >= p.vth)
         if p.soft_reset:

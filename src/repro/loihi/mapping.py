@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from .chip import LoihiChip
 from .core import CoreResourceError
@@ -191,6 +191,51 @@ class Mapper:
             placements[name] = GroupPlacement(name, n, packing, slices,
                                               packing_hint=hint)
         return Mapping(placements, chip)
+
+
+def shard_groups(mapping: Mapping,
+                 extra_edges: Iterable[Tuple[str, str]] = (),
+                 ) -> List[List[str]]:
+    """Partition the mapped groups into core-disjoint shards.
+
+    Two groups land in the same shard when they share a physical core
+    (colocated auxiliary/dendrite compartments always do) or when an
+    ``extra_edges`` pair links them — the runtime passes its gate/merge
+    dependencies here so every same-step read stays inside one shard and
+    shards can be stepped concurrently with only per-phase barriers.
+
+    Returns shards as lists of group names; both the shard list and each
+    shard's members preserve the mapping's placement order, so stepping a
+    shard's groups in network declaration order stays well-defined.
+    """
+    names = list(mapping.placements)
+    parent: Dict[str, str] = {name: name for name in names}
+
+    def find(a: str) -> str:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    by_core: Dict[int, str] = {}
+    for name in names:
+        for core_id in mapping.placements[name].cores:
+            if core_id in by_core:
+                union(by_core[core_id], name)
+            else:
+                by_core[core_id] = name
+    for a, b in extra_edges:
+        if a in parent and b in parent:
+            union(a, b)
+    shards: Dict[str, List[str]] = {}
+    for name in names:
+        shards.setdefault(find(name), []).append(name)
+    return list(shards.values())
 
 
 def optimal_neurons_per_core(candidates, evaluate) -> Tuple[int, float]:

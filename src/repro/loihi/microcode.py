@@ -174,8 +174,20 @@ class LearningEngine:
     """
 
     def __init__(self, rng: Optional[np.random.Generator] = None,
-                 stochastic_rounding: bool = True):
-        self.rng = rng if rng is not None else np.random.default_rng()
+                 stochastic_rounding: bool = True,
+                 rngs: Optional[Sequence[np.random.Generator]] = None):
+        if rngs is not None:
+            #: Per-replica stochastic-rounding streams for batched
+            #: (replicated) connections.  Replica ``r`` always rounds with
+            #: ``rngs[r]`` drawing a ``(src.n, dst.n)`` block — exactly the
+            #: draw a single-replica engine built on ``rngs[r]`` would make,
+            #: which is what keeps batched learning bit-identical to
+            #: sequential per-replica execution.
+            self.rngs = list(rngs)
+            self.rng = self.rngs[0]
+        else:
+            self.rngs = None
+            self.rng = rng if rng is not None else np.random.default_rng()
         self.stochastic_rounding = bool(stochastic_rounding)
 
     # -- variable extraction ----------------------------------------------
@@ -183,6 +195,17 @@ class LearningEngine:
     def _variables(self, conn: ConnectionGroup) -> Dict[str, np.ndarray]:
         if not conn.plastic:
             raise ValueError(f"connection {conn.name!r} is not plastic")
+        if conn.replicas > 1:
+            # Batched: every per-neuron quantity broadcasts over the
+            # trailing (src.n, dst.n) axes with the replica axis leading.
+            return {
+                "x0": conn.src.spikes.astype(np.int64)[:, :, None],
+                "x1": conn.pre_trace.read()[:, :, None],
+                "y0": conn.dst.spikes.astype(np.int64)[:, None, :],
+                "y1": conn.post_trace.read()[:, None, :],
+                "t": conn.tag,
+                "w": conn.weight_mant,
+            }
         return {
             "x0": conn.src.spikes.astype(np.int64)[:, None],
             "x1": conn.pre_trace.read()[:, None],
@@ -193,9 +216,13 @@ class LearningEngine:
         }
 
     def evaluate(self, rule: SumOfProducts, conn: ConnectionGroup) -> np.ndarray:
-        """The raw (float) ``dz`` matrix for a rule on a connection."""
+        """The raw (float) ``dz`` block for a rule on a connection.
+
+        Shape ``(src.n, dst.n)``, with a leading replica axis when the
+        connection is replicated.
+        """
         variables = self._variables(conn)
-        dz = np.zeros((conn.src.n, conn.dst.n), dtype=np.float64)
+        dz = np.zeros(conn.weight_mant.shape, dtype=np.float64)
         for term in rule.terms:
             value = np.array(float(term.sign) * 2.0 ** term.scale_exp)
             for factor in term.factors:
@@ -208,7 +235,16 @@ class LearningEngine:
         if self.stochastic_rounding:
             floor = np.floor(dz)
             frac = dz - floor
-            return (floor + (self.rng.random(dz.shape) < frac)).astype(np.int64)
+            if dz.ndim == 3 and self.rngs is not None:
+                if len(self.rngs) != dz.shape[0]:
+                    raise ValueError(
+                        f"engine has {len(self.rngs)} replica rng streams, "
+                        f"connection has {dz.shape[0]} replicas")
+                draw = np.stack([rng.random(dz.shape[1:])
+                                 for rng in self.rngs])
+            else:
+                draw = self.rng.random(dz.shape)
+            return (floor + (draw < frac)).astype(np.int64)
         return np.round(dz).astype(np.int64)
 
     def apply(self, rule: SumOfProducts, conn: ConnectionGroup) -> None:

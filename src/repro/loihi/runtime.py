@@ -18,26 +18,62 @@ that the energy model turns into Table II / Fig. 3 rows.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from .compartment import CompartmentGroup
 from .energy import RunStats
+from .mapping import Mapping, shard_groups
 from .microcode import LearningEngine, SumOfProducts
 from .sdk import Network
 
 
+def _replica_engine(network: Network, rng, stochastic_rounding: bool,
+                    ) -> LearningEngine:
+    """Build the learning engine, spawning per-replica rounding streams.
+
+    For a replicated network, ``rng`` may be a sequence of generators (one
+    per replica — the form the equivalence tests use to pin each replica's
+    stream) or a single generator, from which per-replica child streams are
+    derived deterministically.
+    """
+    replicas = getattr(network, "replicas", 1)
+    if isinstance(rng, (list, tuple)):
+        if len(rng) != replicas:
+            raise ValueError(
+                f"got {len(rng)} rng streams for {replicas} replicas")
+        if replicas == 1:
+            return LearningEngine(rng=rng[0],
+                                  stochastic_rounding=stochastic_rounding)
+        return LearningEngine(rngs=list(rng),
+                              stochastic_rounding=stochastic_rounding)
+    if rng is None:
+        rng = np.random.default_rng()
+    if replicas == 1:
+        return LearningEngine(rng=rng,
+                              stochastic_rounding=stochastic_rounding)
+    children = [np.random.default_rng(int(rng.integers(0, 2 ** 63)))
+                for _ in range(replicas)]
+    return LearningEngine(rngs=children,
+                          stochastic_rounding=stochastic_rounding)
+
+
 class Runtime:
-    """Steps a network and orchestrates learning epochs."""
+    """Steps a network and orchestrates learning epochs.
+
+    Works unchanged for replicated networks (``Network(replicas=R)``): all
+    state carries a leading replica axis and one :meth:`step` advances every
+    replica.  ``rng`` then accepts a sequence of ``R`` generators pinning
+    each replica's stochastic-rounding stream.
+    """
 
     def __init__(self, network: Network,
                  rng: Optional[np.random.Generator] = None,
                  stochastic_rounding: bool = True):
         self.network = network
-        self.engine = LearningEngine(
-            rng=rng if rng is not None else np.random.default_rng(),
-            stochastic_rounding=stochastic_rounding)
+        self.engine = _replica_engine(network, rng, stochastic_rounding)
         #: rule book: learning_rule name -> {epoch name -> [rules]}
         self.rulebook: Dict[str, Dict[str, List[SumOfProducts]]] = {}
         self.stats = RunStats()
@@ -70,7 +106,8 @@ class Runtime:
     def step(self) -> None:
         """One barrier-synchronized timestep."""
         currents: Dict[str, np.ndarray] = {
-            g.name: np.zeros(g.n, dtype=np.int64) for g in self.network.groups}
+            g.name: np.zeros(g.state_shape, dtype=np.int64)
+            for g in self.network.groups}
         for conn in self.network.connections:
             if conn.src.spikes.any():
                 currents[conn.dst.name] += conn.propagate(conn.src.spikes)
@@ -130,5 +167,165 @@ class Runtime:
     def spike_counts(self, group_name: str) -> np.ndarray:
         return self.network.group(group_name).spike_count.copy()
 
-    def mark_sample(self) -> None:
-        self.stats.samples += 1
+    def mark_sample(self, n: int = 1) -> None:
+        self.stats.samples += n
+
+
+class _Shard:
+    """One concurrently-steppable partition of the network.
+
+    ``groups`` preserve network declaration order (gate/merge reads between
+    groups of one shard rely on it); ``conns_in`` are the connections whose
+    destination lives in this shard — current delivery and trace updates
+    happen where the synapses physically are.
+    """
+
+    def __init__(self, groups: List[CompartmentGroup],
+                 conns_in: List) -> None:
+        self.groups = groups
+        self.conns_in = conns_in
+        self.stats = RunStats()
+        self._syn_events_seen = 0
+
+    def gather_currents(self) -> Dict[str, np.ndarray]:
+        currents = {g.name: np.zeros(g.state_shape, dtype=np.int64)
+                    for g in self.groups}
+        for conn in self.conns_in:
+            if conn.src.spikes.any():
+                currents[conn.dst.name] += conn.propagate(conn.src.spikes)
+        return currents
+
+    def step_groups(self, currents: Dict[str, np.ndarray]) -> int:
+        n_spikes = 0
+        for group in self.groups:
+            fired = group.step(currents[group.name])
+            n_spikes += int(fired.sum())
+        self.stats.spikes += n_spikes
+        return n_spikes
+
+    def update_traces(self) -> None:
+        for conn in self.conns_in:
+            if conn.plastic:
+                conn.update_traces(conn.src.spikes, conn.dst.spikes)
+
+    def collect_syn_events(self) -> None:
+        total = sum(c.syn_events for c in self.conns_in)
+        self.stats.syn_events += total - self._syn_events_seen
+        self._syn_events_seen = total
+
+
+class ShardedRuntime(Runtime):
+    """A :class:`Runtime` that executes the chip's cores as shards.
+
+    The compiled :class:`~repro.loihi.mapping.Mapping` says which groups
+    share physical cores; :func:`~repro.loihi.mapping.shard_groups`
+    partitions the groups into core-disjoint shards (gate/merge-coupled
+    groups — always colocated on hardware — are kept together).  Each
+    barrier-synchronized timestep then runs in three phases over a worker
+    pool, mirroring how the chip's cores compute concurrently between
+    barriers:
+
+    1. **deliver** — every shard accumulates the currents of its inbound
+       connections from the *previous* step's spikes (read-only, parallel);
+    2. **integrate** — every shard steps its groups in declaration order
+       (writes stay inside the shard, parallel);
+    3. **trace** — every shard updates its inbound plastic traces from the
+       freshly written spikes (parallel).
+
+    Learning epochs stay sequential over connections: the engine's
+    stochastic-rounding streams are consumed in connection order, and that
+    order is part of the bit-identical contract with the plain runtime.
+
+    Per-shard counters live in ``shard.stats`` and are merged into the
+    global :class:`RunStats` (see :meth:`merged_shard_stats`).
+    """
+
+    def __init__(self, network: Network, mapping: Mapping,
+                 rng: Optional[np.random.Generator] = None,
+                 stochastic_rounding: bool = True,
+                 max_workers: Optional[int] = None):
+        super().__init__(network, rng=rng,
+                         stochastic_rounding=stochastic_rounding)
+        edges = []
+        for g in network.groups:
+            if g.gate_group is not None:
+                edges.append((g.name, g.gate_group.name))
+            if g.merge_group is not None:
+                edges.append((g.name, g.merge_group.name))
+        order = {g.name: i for i, g in enumerate(network.groups)}
+        mapped = set(mapping.placements)
+        name_shards = shard_groups(mapping, extra_edges=edges)
+        unmapped = [g.name for g in network.groups if g.name not in mapped]
+        if unmapped:  # defensive: groups added after compile get own shard
+            name_shards.append(unmapped)
+        self.shards: List[_Shard] = []
+        shard_of: Dict[str, int] = {}
+        for names in name_shards:
+            groups = sorted((network.group(n) for n in names),
+                            key=lambda g: order[g.name])
+            for g in groups:
+                shard_of[g.name] = len(self.shards)
+            self.shards.append(_Shard(groups, []))
+        for conn in network.connections:
+            self.shards[shard_of[conn.dst.name]].conns_in.append(conn)
+        if max_workers is None:
+            max_workers = min(len(self.shards), 4)
+        self.max_workers = max(1, int(max_workers))
+        self._pool = ThreadPoolExecutor(max_workers=self.max_workers) \
+            if self.max_workers > 1 and len(self.shards) > 1 else None
+
+    # -- worker pool -------------------------------------------------------
+
+    def _each_shard(self, fn, *arglists):
+        """Run ``fn(shard, ...)`` for every shard; barrier on completion."""
+        if self._pool is None:
+            return [fn(shard, *(a[i] for a in arglists))
+                    for i, shard in enumerate(self.shards)]
+        futures = [self._pool.submit(fn, shard, *(a[i] for a in arglists))
+                   for i, shard in enumerate(self.shards)]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self.max_workers = 1
+
+    def __enter__(self) -> "ShardedRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> None:
+        currents = self._each_shard(_Shard.gather_currents)
+        spike_counts = self._each_shard(_Shard.step_groups, currents)
+        self._each_shard(_Shard.update_traces)
+        for shard in self.shards:
+            shard.stats.steps += 1
+        self.stats.steps += 1
+        self.stats.spikes += sum(spike_counts)
+
+    def _collect_syn_events(self) -> None:
+        self._each_shard(_Shard.collect_syn_events)
+        super()._collect_syn_events()
+
+    def merged_shard_stats(self) -> RunStats:
+        """Per-shard counters folded into one :class:`RunStats`.
+
+        Spikes and synaptic events are genuinely partitioned across shards,
+        so their merge must reproduce the global counters; steps are a
+        whole-chip barrier count and samples/epochs are host-side events,
+        so those are taken from the global stats.
+        """
+        merged = RunStats()
+        for shard in self.shards:
+            merged.spikes += shard.stats.spikes
+            merged.syn_events += shard.stats.syn_events
+        merged.steps = self.stats.steps
+        merged.samples = self.stats.samples
+        merged.learning_epochs = self.stats.learning_epochs
+        merged.plastic_synapses = self.stats.plastic_synapses
+        return merged

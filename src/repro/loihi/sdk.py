@@ -22,8 +22,13 @@ from .synapse import ConnectionGroup
 class Network:
     """A declared (not yet placed) network of groups and connections."""
 
-    def __init__(self, name: str = "network"):
+    def __init__(self, name: str = "network", replicas: int = 1):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
         self.name = name
+        #: Independent network copies stepped in one vectorized pass; every
+        #: group and connection created through this network inherits it.
+        self.replicas = int(replicas)
         self.groups: List[CompartmentGroup] = []
         self.connections: List[ConnectionGroup] = []
         self._group_names: Dict[str, CompartmentGroup] = {}
@@ -45,7 +50,8 @@ class Network:
             raise ValueError(f"duplicate group name {name!r}")
         if colocate is not None and colocate not in self._group_names:
             raise ValueError(f"colocate target {colocate!r} does not exist")
-        group = CompartmentGroup(n, proto, name=name)
+        group = CompartmentGroup(n, proto, name=name,
+                                 replicas=self.replicas)
         group.packing = packing
         group.colocate = colocate
         self.groups.append(group)

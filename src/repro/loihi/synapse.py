@@ -58,31 +58,59 @@ class ConnectionGroup:
             raise ValueError("weight mantissas exceed the 8-bit range")
         if weight_scale < 1:
             raise ValueError("weight_scale must be a positive integer")
+        if src.replicas != dst.replicas:
+            raise ValueError(
+                f"connection {name or src.name + '->' + dst.name!r}: "
+                f"src has {src.replicas} replicas, dst has {dst.replicas}")
         self.src = src
         self.dst = dst
-        self.weight_mant = weight_mant.astype(np.int64)
+        #: Replica count inherited from the endpoint groups.  Static
+        #: connections share one ``(src.n, dst.n)`` weight block across all
+        #: replicas (the values never diverge); plastic connections with
+        #: ``replicas > 1`` carry an independent ``(replicas, src.n, dst.n)``
+        #: weight/tag copy per replica so batched learning matches
+        #: sequential per-replica execution bit for bit.
+        self.replicas = src.replicas
+        weight_mant = weight_mant.astype(np.int64)
+        if plastic and self.replicas > 1:
+            weight_mant = np.broadcast_to(
+                weight_mant, (self.replicas,) + weight_mant.shape).copy()
+        self.weight_mant = weight_mant
         self.weight_scale = int(weight_scale)
         self.plastic = bool(plastic)
         self.learning_rule = learning_rule
         self.name = name or f"{src.name}->{dst.name}"
-        self.tag = np.zeros((src.n, dst.n), dtype=np.int64) if plastic else None
-        self.pre_trace = counter_trace(src.n) if plastic else None
-        self.post_trace = counter_trace(dst.n) if plastic else None
+        tag_shape = self.weight_mant.shape
+        self.tag = np.zeros(tag_shape, dtype=np.int64) if plastic else None
+        self.pre_trace = counter_trace(src.n, self.replicas) if plastic \
+            else None
+        self.post_trace = counter_trace(dst.n, self.replicas) if plastic \
+            else None
         #: Cumulative number of synaptic events (spike x fan-out), for the
-        #: energy model.
+        #: energy model; batched replicas accumulate into the same counter.
         self.syn_events = 0
 
     @property
     def n_synapses(self) -> int:
-        return self.weight_mant.size
+        """Logical synapse count (replica copies are the same synapses)."""
+        return self.src.n * self.dst.n
 
     def propagate(self, spikes: np.ndarray) -> np.ndarray:
-        """Integer current delivered to ``dst`` for presynaptic ``spikes``."""
+        """Integer current delivered to ``dst`` for presynaptic ``spikes``.
+
+        ``spikes`` has the source group's state shape: ``(src.n,)`` single
+        replica, ``(replicas, src.n)`` batched; the returned current matches
+        the destination's state shape.
+        """
         spikes = np.asarray(spikes, dtype=bool)
         if not spikes.any():
-            return np.zeros(self.dst.n, dtype=np.int64)
+            return np.zeros(self.dst.state_shape, dtype=np.int64)
         self.syn_events += int(spikes.sum()) * self.dst.n
-        contrib = spikes.astype(np.int64) @ self.weight_mant
+        pre = spikes.astype(np.int64)
+        if self.weight_mant.ndim == 3:  # per-replica plastic weights
+            contrib = np.einsum("rs,rsd->rd", pre, self.weight_mant)
+        else:
+            contrib = pre @ self.weight_mant
         return contrib * self.weight_scale
 
     def update_traces(self, pre_spikes: np.ndarray,
@@ -102,8 +130,17 @@ class ConnectionGroup:
             self.tag.fill(0)
 
     def set_weights(self, weight_mant: np.ndarray) -> None:
-        """Overwrite mantissas (host reprogramming), with range check."""
+        """Overwrite mantissas (host reprogramming), with range check.
+
+        A replicated plastic connection also accepts one ``(src.n, dst.n)``
+        block, broadcast to every replica — how the batched trainer seeds
+        each chunk with the canonical weights.
+        """
         weight_mant = np.asarray(weight_mant)
+        if weight_mant.shape == (self.src.n, self.dst.n) \
+                and self.weight_mant.ndim == 3:
+            weight_mant = np.broadcast_to(
+                weight_mant, self.weight_mant.shape)
         if weight_mant.shape != self.weight_mant.shape:
             raise ValueError("shape mismatch")
         self.weight_mant = np.clip(weight_mant, -WEIGHT_MANT_MAX,

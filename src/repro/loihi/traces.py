@@ -40,18 +40,27 @@ class TraceConfig:
 
 
 class TraceState:
-    """Vector of trace registers for one compartment group."""
+    """Vector of trace registers for one compartment group.
 
-    def __init__(self, n: int, config: TraceConfig = TraceConfig()):
+    With ``replicas > 1`` the register file gains a leading replica axis
+    (``(replicas, n)``): each network replica keeps its own independent
+    trace values, updated by one vectorized call.
+    """
+
+    def __init__(self, n: int, config: TraceConfig = TraceConfig(),
+                 replicas: int = 1):
         self.n = int(n)
         self.config = config
-        self.values = np.zeros(self.n, dtype=np.float64)
+        self.replicas = int(replicas)
+        self.shape = (self.n,) if self.replicas == 1 \
+            else (self.replicas, self.n)
+        self.values = np.zeros(self.shape, dtype=np.float64)
 
     def update(self, spikes: np.ndarray) -> None:
         """One timestep: decay, then add the impulse where spikes occurred."""
         spikes = np.asarray(spikes, dtype=bool)
-        if spikes.shape != (self.n,):
-            raise ValueError(f"spikes must have shape ({self.n},)")
+        if spikes.shape != self.shape:
+            raise ValueError(f"spikes must have shape {self.shape}")
         if self.config.decay != 1.0:
             self.values *= self.config.decay
         self.values = np.minimum(self.values + self.config.impulse * spikes,
@@ -65,6 +74,7 @@ class TraceState:
         self.values.fill(0.0)
 
 
-def counter_trace(n: int) -> TraceState:
+def counter_trace(n: int, replicas: int = 1) -> TraceState:
     """A spike-count trace (impulse 1, no decay) — EMSTDP's configuration."""
-    return TraceState(n, TraceConfig(impulse=1, decay=1.0))
+    return TraceState(n, TraceConfig(impulse=1, decay=1.0),
+                      replicas=replicas)

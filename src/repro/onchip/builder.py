@@ -95,6 +95,12 @@ class OnChipEMSTDP:
     error_path_names: List[str]
     label_name: Optional[str]
     bias_name: Optional[str]
+    #: Builder arguments recorded so :meth:`replicate` can rebuild the same
+    #: topology (weights/biases are then copied from the live network, so
+    #: the replica is exact regardless of how this network was initialized).
+    frontend_layers: Optional[List] = None
+    frontend_packing: Optional[int] = None
+    replicas: int = 1
 
     @property
     def input_name(self) -> str:
@@ -109,6 +115,47 @@ class OnChipEMSTDP:
         return [self.scales.from_mant(c.weight_mant)
                 for c in self.plastic_connections]
 
+    def replicate(self, replicas: int) -> "OnChipEMSTDP":
+        """A batch-parallel copy: same wiring, ``replicas`` state copies.
+
+        The twin is rebuilt through the same builder path (identical group
+        and connection order), then every connection's mantissas, every
+        group's bias and every per-compartment mask are copied from this
+        network's *current* state — plastic weights broadcast to all
+        replicas — so the copy is exact however this network was
+        initialized or trained.
+        """
+        twin = build_emstdp_network(
+            self.dims, self.config, scales=self.scales,
+            include_error_path=self.label_name is not None,
+            frontend_layers=self.frontend_layers,
+            frontend_packing=self.frontend_packing,
+            replicas=replicas)
+        sync_networks(self, twin)
+        for mine, theirs in zip(self.network.groups, twin.network.groups):
+            theirs.set_bias(mine.bias)
+            theirs.enabled = mine.enabled
+        return twin
+
+
+def sync_networks(src: OnChipEMSTDP, dst: OnChipEMSTDP) -> None:
+    """Copy ``src``'s learned state onto ``dst`` (a replica twin).
+
+    Connection mantissas are copied pairwise in build order (plastic blocks
+    broadcast across ``dst``'s replicas) and per-compartment masks follow —
+    the host-side "program the chip" step before each batched chunk.
+    """
+    if len(src.network.connections) != len(dst.network.connections):
+        raise ValueError("networks have different topology")
+    for mine, theirs in zip(src.network.connections,
+                            dst.network.connections):
+        if mine.name != theirs.name:
+            raise ValueError(
+                f"connection order mismatch: {mine.name!r} vs {theirs.name!r}")
+        theirs.set_weights(mine.weight_mant)
+    for g_mine, g_theirs in zip(src.network.groups, dst.network.groups):
+        g_theirs.mask = g_mine.mask.copy()
+
 
 def build_emstdp_network(dims: Sequence[int], config: EMSTDPConfig,
                          rng: Optional[np.random.Generator] = None,
@@ -118,6 +165,7 @@ def build_emstdp_network(dims: Sequence[int], config: EMSTDPConfig,
                          scales: Optional[ScaleScheme] = None,
                          frontend_packing: Optional[int] = None,
                          frontend_layers: Optional[List] = None,
+                         replicas: int = 1,
                          ) -> OnChipEMSTDP:
     """Construct the full Fig. 1b network on the chip.
 
@@ -133,6 +181,12 @@ def build_emstdp_network(dims: Sequence[int], config: EMSTDPConfig,
     :func:`repro.models.convert.frontend_matrices` — mapped as fixed
     (non-plastic) spiking layers in front of the trainable part; the first
     frontend group becomes the bias-programmed input layer.
+
+    ``replicas > 1`` builds the *batch-parallel* network: ``replicas``
+    independent copies of the whole Fig. 1b wiring sharing one declaration,
+    stepped together by the vectorized runtime (each copy carries its own
+    membrane/trace/tag/plastic-weight state).  The trainer uses such a twin
+    for ``fit_batch``/``predict_batch``.
     """
     dims = validate_dims(dims)
     cfg = config
@@ -143,7 +197,7 @@ def build_emstdp_network(dims: Sequence[int], config: EMSTDPConfig,
         rng = np.random.default_rng(cfg.seed)
     n_layers = len(dims) - 1
     n_out = dims[-1]
-    net = Network("emstdp")
+    net = Network("emstdp", replicas=replicas)
     # Forward-path compartments use a *signed* membrane (no zero floor):
     # phase-2 correction spikes must add and subtract charge symmetrically,
     # otherwise inhibitory corrections are partially lost to the clamp and
@@ -362,4 +416,7 @@ def build_emstdp_network(dims: Sequence[int], config: EMSTDPConfig,
         error_path_names=error_names,
         label_name=label_name,
         bias_name="bias" if cfg.use_bias_neuron else None,
+        frontend_layers=list(frontend_layers) if frontend_layers else None,
+        frontend_packing=frontend_packing,
+        replicas=replicas,
     )

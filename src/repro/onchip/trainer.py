@@ -30,12 +30,40 @@ import numpy as np
 
 from ..core.encoding import as_sample_batch, quantize_to_bins
 from ..loihi.chip import LoihiChip
-from ..loihi.energy import EnergyModel, EnergyReport
+from ..loihi.energy import EnergyModel, EnergyReport, RunStats
 from ..loihi.mapping import Mapping
 from ..loihi.microcode import emstdp_rules, phase1_tag_rules
-from ..loihi.runtime import Runtime
+from ..loihi.runtime import Runtime, ShardedRuntime
 from ..loihi.synapse import WEIGHT_MANT_MAX
-from .builder import OnChipEMSTDP
+from .builder import OnChipEMSTDP, sync_networks
+
+#: Default replica width of the batched runtime path (``fit_batch`` /
+#: ``predict_batch``); chosen so the vectorized step amortizes Python
+#: dispatch without replicating more state than a batch typically needs.
+DEFAULT_BATCH_REPLICAS = 16
+
+
+def replica_rngs(seed: int, replicas: int) -> List[np.random.Generator]:
+    """The batched twin's per-replica stochastic-rounding streams.
+
+    Replica ``r`` rounds with ``np.random.default_rng((seed + 1, r))``.
+    The derivation is part of the public equivalence contract: a
+    single-replica trainer built with that same generator and fed replica
+    ``r``'s sample reproduces the replica's weights bit for bit (see
+    ``tests/test_loihi_batched.py``).
+    """
+    return [np.random.default_rng((seed + 1, r)) for r in range(replicas)]
+
+
+def host_reduce_rng(seed: int) -> np.random.Generator:
+    """The host-side stream stochastically rounding minibatch write-backs.
+
+    ``np.random.default_rng((seed + 2, 0))`` — disjoint from every replica
+    stream, and documented (like :func:`replica_rngs`) so tests can
+    reproduce the write-back exactly.  One ``(src.n, dst.n)`` draw is
+    consumed per plastic connection per chunk, in connection order.
+    """
+    return np.random.default_rng((seed + 2, 0))
 
 
 def eta_exponent(eta: float, weight_clip: float, T: int) -> int:
@@ -57,7 +85,17 @@ class LoihiEMSTDPTrainer:
                  rng: Optional[np.random.Generator] = None,
                  chip: Optional[LoihiChip] = None,
                  neurons_per_core: Optional[int] = None,
-                 compile_now: bool = True):
+                 compile_now: bool = True,
+                 batch_replicas: Optional[int] = None,
+                 batch_workers: int = 1):
+        """``batch_replicas`` caps the replica width of the batched runtime
+        path (``None`` = :data:`DEFAULT_BATCH_REPLICAS`; ``1`` routes
+        inference through the sequential single-replica loop and makes
+        minibatch training process one replica per chunk).
+        ``batch_workers`` sizes the :class:`ShardedRuntime` worker pool
+        the batched path steps with (1 = step the shards inline); call
+        :meth:`close` when done with a ``batch_workers > 1`` trainer to
+        release the pools."""
         self.model = model
         cfg = model.config
         self.runtime = Runtime(
@@ -76,10 +114,17 @@ class LoihiEMSTDPTrainer:
         self._phase2_names = [n for n in model.error_path_names
                               if "aux" not in n]
         self.mapping: Optional[Mapping] = None
+        self._neurons_per_core = neurons_per_core
         if compile_now:
             self.compile(chip, neurons_per_core)
         self._class_mask = np.ones(model.dims[-1], dtype=bool)
         self.samples_trained = 0
+        self.batch_replicas = batch_replicas
+        self.batch_workers = int(batch_workers)
+        self._reduce_rng = host_reduce_rng(cfg.seed)
+        #: Replica-width -> (replicated model, sharded runtime) twins of
+        #: the canonical network, built lazily by the batched path.
+        self._twins: Dict[int, tuple] = {}
 
     # -- deployment -----------------------------------------------------------
 
@@ -172,34 +217,172 @@ class LoihiEMSTDPTrainer:
     def predict(self, x: np.ndarray) -> int:
         return int(np.argmax(self.infer(x)))
 
-    # -- batch API ---------------------------------------------------------------------
+    # -- batch API (batch-parallel replicated runtime) ---------------------------------
     #
-    # The simulated chip holds exactly one copy of the network and
-    # time-multiplexes samples over it (Operation Flow 1), so there is no
-    # across-sample vectorization to exploit here: the batch methods below
-    # walk the batch in order.  They exist so call sites written against the
-    # batched :class:`repro.core.EMSTDPNetwork` API (``fit_batch`` /
-    # ``predict_batch`` / ``evaluate_batch``) can drive the on-chip trainer
-    # unchanged, with identical online semantics.
+    # The chip itself time-multiplexes samples over one network copy
+    # (Operation Flow 1), but nothing stops a deployment from mapping R
+    # *independent replicas* of the network onto spare cores and presenting
+    # R samples simultaneously — replication trades cores for wall-clock.
+    # The batch methods below do exactly that: a lazily built replicated
+    # twin (``build_emstdp_network(..., replicas=R)`` + ShardedRuntime)
+    # advances all replicas in one vectorized pass, each replica
+    # bit-identical to a sequential single-replica run (the equivalence
+    # contract of ``tests/test_loihi_batched.py``).  The canonical
+    # single-replica network stays the source of truth for weights; twins
+    # are re-programmed from it before every chunk.
 
     def _as_batch(self, X) -> np.ndarray:
         """Coerce input to a ``(B, n_in)`` float block (1-D becomes B=1)."""
         return as_sample_batch(X, self.model.dims[0])
 
+    def _target_replicas(self, batch: int) -> int:
+        cap = self.batch_replicas if self.batch_replicas is not None \
+            else DEFAULT_BATCH_REPLICAS
+        return max(1, min(int(cap), batch))
+
+    def _twin(self, replicas: int):
+        """The cached ``replicas``-wide twin: (model, sharded runtime)."""
+        entry = self._twins.get(replicas)
+        if entry is None:
+            model = self.model.replicate(replicas)
+            mapping = model.network.compile(
+                neurons_per_core=self._neurons_per_core)
+            rt = ShardedRuntime(
+                model.network, mapping,
+                rng=replica_rngs(self.model.config.seed, replicas),
+                stochastic_rounding=self.model.config.stochastic_rounding,
+                max_workers=self.batch_workers)
+            rt.register_rule("emstdp", dict(self.runtime.rulebook["emstdp"]))
+            entry = (model, rt)
+            self._twins[replicas] = entry
+        return entry
+
+    def close(self) -> None:
+        """Release the twin runtimes' worker pools and drop the twins."""
+        for _, rt in self._twins.values():
+            rt.close()
+        self._twins.clear()
+
+    def _fresh_chunk(self, replicas: int):
+        """A twin re-programmed with the canonical weights and fresh stats."""
+        model_b, rt = self._twin(replicas)
+        sync_networks(self.model, model_b)
+        rt.stats = RunStats(
+            plastic_synapses=model_b.network.n_plastic_synapses())
+        rt.reset_state(counts=True)
+        return model_b, rt
+
+    def _round_host(self, delta: np.ndarray) -> np.ndarray:
+        """Integerize a host-side mean-of-deltas write-back."""
+        if not self.model.config.stochastic_rounding:
+            return np.round(delta).astype(np.int64)
+        floor = np.floor(delta)
+        frac = delta - floor
+        draw = self._reduce_rng.random(delta.shape)
+        return (floor + (draw < frac)).astype(np.int64)
+
+    def _program_batch(self, rt, model_b, X,
+                       labels: Optional[np.ndarray] = None) -> None:
+        cfg = self.model.config
+        rate = quantize_to_bins(np.asarray(X, dtype=float), cfg.T)
+        bias = model_b.scales.rate_to_bias(rate)
+        if model_b.network.replicas == 1:
+            bias = bias[0]  # a width-1 twin keeps the 1-D state layout
+        rt.set_bias(model_b.input_name, bias)
+        if labels is not None:
+            target = np.zeros((len(labels), self.model.dims[-1]))
+            target[np.arange(len(labels)), labels] = 1.0
+            label_bias = model_b.scales.rate_to_bias(target)
+            if model_b.network.replicas == 1:
+                label_bias = label_bias[0]
+            rt.set_bias(model_b.label_name, label_bias)
+
     def fit_batch(self, X, labels,
                   update_mode: str = "online") -> Dict[str, object]:
         """Drop-in for :meth:`EMSTDPNetwork.fit_batch` on the chip.
 
-        Only ``update_mode="online"`` exists here: the chip applies its
-        microcode update at the end of every 2T-step presentation, so there
-        is no frozen-weight minibatch pass to offer.  Asking for
-        ``"minibatch"`` raises rather than silently changing semantics.
+        ``update_mode="online"`` keeps the paper's strict semantics: each
+        2T-step presentation sees the weights updated by every earlier
+        sample — bit-identical to looping :meth:`train_sample`.
+
+        ``update_mode="minibatch"`` is the batch-parallel path: up to
+        ``batch_replicas`` replicas are programmed with the *same frozen*
+        weights and one sample each, every replica runs the full two-phase
+        presentation with its own stochastic-rounding stream (bit-identical
+        to a sequential run of that replica), and the host then writes back
+        ``w0 + round(mean_r(w_r - w0))`` — the chip analogue of the
+        reference engine's mean-of-deltas minibatch mode, with the same
+        documented break of the online dependency chain.  The fractional
+        mean is resolved by stochastic rounding on the
+        :func:`host_reduce_rng` stream (round-to-nearest when the config
+        disables stochastic rounding): averaged 8-bit deltas are often
+        sub-integer, and deterministic rounding would silently discard
+        them — the same argument that puts stochastic rounding in the
+        chip's own learning engine.
         """
-        if update_mode != "online":
+        if update_mode == "online":
+            return self.train_batch(X, labels)
+        if update_mode != "minibatch":
             raise ValueError(
-                "the on-chip trainer only supports update_mode='online' "
-                f"(per-presentation microcode updates), got {update_mode!r}")
-        return self.train_batch(X, labels)
+                "update_mode must be 'online' or 'minibatch', "
+                f"got {update_mode!r}")
+        if self.model.label_name is None:
+            raise RuntimeError(
+                "this network was built without an error path "
+                "(include_error_path=False); it can only run inference")
+        X = self._as_batch(X)
+        y = np.asarray(labels, dtype=np.int64).reshape(-1)
+        if len(X) != len(y):
+            raise ValueError("samples and labels must have equal length")
+        if len(X) == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return {"predictions": empty, "correct": empty.astype(bool),
+                    "accuracy": 0.0}
+        if not self._class_mask[y].all():
+            bad = sorted(set(int(v) for v in y[~self._class_mask[y]]))
+            raise ValueError(f"labels {bad} are masked out")
+        T = self.model.config.T
+        width = self._target_replicas(len(X))
+        preds = np.empty(len(X), dtype=np.int64)
+        for lo in range(0, len(X), width):
+            xb, yb = X[lo:lo + width], y[lo:lo + width]
+            k = len(xb)
+            model_b, rt = self._fresh_chunk(k)
+            w0 = [c.weight_mant.copy()
+                  for c in self.model.plastic_connections]
+            rt.reset_traces()
+            rt.reset_tags()
+            self._program_batch(rt, model_b, xb, labels=yb)
+            rt.disable(self._phase2_names)
+            rt.run(T)
+            counts = np.atleast_2d(rt.spike_counts(model_b.output_name))
+            rt.learning_epoch("phase1_end")
+            rt.reset_traces()
+            rt.reset_membranes(model_b.forward_names)
+            rt.enable(self._phase2_names)
+            rt.run(T)
+            rt.learning_epoch("phase2_end")
+            rt.reset_tags()
+            rt.reset_traces()
+            rt.mark_sample(k)
+            for conn_c, conn_b, w_start in zip(
+                    self.model.plastic_connections,
+                    model_b.plastic_connections, w0):
+                wb = conn_b.weight_mant
+                if wb.ndim == 3:
+                    delta = (wb - w_start[None]).mean(axis=0)
+                else:
+                    delta = (wb - w_start).astype(float)
+                conn_c.set_weights(w_start + self._round_host(delta))
+            preds[lo:lo + k] = np.argmax(counts, axis=-1)
+            self.runtime.stats.merge(rt.stats)
+            self.samples_trained += k
+        correct = preds == y
+        return {
+            "predictions": preds,
+            "correct": correct,
+            "accuracy": float(np.mean(correct)),
+        }
 
     def train_batch(self, X, labels) -> Dict[str, object]:
         """Online-mode batch training; same contract as ``fit_batch``.
@@ -222,10 +405,32 @@ class LoihiEMSTDPTrainer:
         }
 
     def infer_batch(self, X) -> np.ndarray:
-        """Phase-1-only inference for a batch; returns ``(B, n_out)`` rates."""
+        """Phase-1-only inference for a batch; returns ``(B, n_out)`` rates.
+
+        Runs through the replicated runtime in chunks of up to
+        ``batch_replicas`` samples (inference is deterministic, so the
+        results equal a sequential :meth:`infer` loop exactly).
+        """
         X = self._as_batch(X)
-        return np.stack([self.infer(x) for x in X]) if len(X) else \
-            np.zeros((0, self.model.dims[-1]))
+        if len(X) == 0:
+            return np.zeros((0, self.model.dims[-1]))
+        width = self._target_replicas(len(X))
+        if width <= 1:
+            return np.stack([self.infer(x) for x in X])
+        T = self.model.config.T
+        out = np.empty((len(X), self.model.dims[-1]))
+        for lo in range(0, len(X), width):
+            xb = X[lo:lo + width]
+            model_b, rt = self._fresh_chunk(len(xb))
+            self._program_batch(rt, model_b, xb)
+            if model_b.label_name is not None:
+                rt.disable(self._phase2_names)
+            rt.run(T)
+            rt.mark_sample(len(xb))
+            counts = np.atleast_2d(rt.spike_counts(model_b.output_name))
+            out[lo:lo + len(xb)] = counts.astype(float) / T
+            self.runtime.stats.merge(rt.stats)
+        return out
 
     def predict_batch(self, X) -> np.ndarray:
         """Class decisions for a batch of samples."""
@@ -233,9 +438,17 @@ class LoihiEMSTDPTrainer:
         return np.argmax(rates, axis=-1).astype(np.int64)
 
     def evaluate_batch(self, samples, labels, batch_size: int = 256) -> float:
-        """Batch-API alias of :meth:`evaluate` (the chip is sequential)."""
-        del batch_size  # accepted for signature parity with EMSTDPNetwork
-        return self.evaluate(samples, labels)
+        """Accuracy over a sample block, inferring through the batched
+        runtime ``batch_size`` samples at a time."""
+        X = self._as_batch(samples)
+        y = np.asarray(labels, dtype=np.int64).reshape(-1)
+        if len(X) != len(y):
+            raise ValueError("samples and labels must have equal length")
+        correct = 0
+        for lo in range(0, len(X), batch_size):
+            preds = self.predict_batch(X[lo:lo + batch_size])
+            correct += int(np.sum(preds == y[lo:lo + batch_size]))
+        return correct / max(len(X), 1)
 
     # -- loops -------------------------------------------------------------------------
 

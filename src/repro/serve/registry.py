@@ -87,7 +87,11 @@ def model_from_checkpoint(stem: Union[str, Path]):
         cfg_dict = state.get("config")
         config = (EMSTDPConfig(**cfg_dict) if cfg_dict is not None
                   else loihi_default_config())
-        model = LoihiEMSTDPTrainer(build_emstdp_network(dims, config))
+        # Serve through the batch-parallel replicated runtime: the
+        # micro-batcher flushes up to its max batch in one predict_batch
+        # call, so the replica width matches the default serving batch.
+        model = LoihiEMSTDPTrainer(build_emstdp_network(dims, config),
+                                   batch_replicas=32)
     else:
         raise CheckpointError(
             f"cannot serve a {cls!r} checkpoint (supported: EMSTDPNetwork, "

@@ -20,10 +20,11 @@ single points — and this package turns one frozen
 
 from .runner import PointResult, SweepResult, SweepRunner, new_sweep_id
 from .scenarios import SWEEPS, SweepFamily, get_sweep, register_sweep
-from .spec import RandomAxis, SweepAxis, SweepPoint, SweepSpec, apply_overrides
+from .spec import (RandomAxis, SweepAxis, SweepPoint, SweepSpec,
+                   apply_overrides, coerce_axis_value)
 from .store import SweepInfo, SweepStore
 
 __all__ = ["PointResult", "RandomAxis", "SWEEPS", "SweepAxis", "SweepFamily",
            "SweepInfo", "SweepPoint", "SweepResult", "SweepRunner",
-           "SweepSpec", "SweepStore", "apply_overrides", "get_sweep",
-           "new_sweep_id", "register_sweep"]
+           "SweepSpec", "SweepStore", "apply_overrides", "coerce_axis_value",
+           "get_sweep", "new_sweep_id", "register_sweep"]

@@ -18,7 +18,9 @@ resumed sweep re-derives exactly the same points with the same ids.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import itertools
+import typing
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -200,6 +202,97 @@ class SweepSpec:
 #: 1-tuple (sweeping ``hidden`` over 64 and 128 means one width per
 #: point), and a bare string must not be iterated character-wise.
 _TUPLE_FIELDS = ("hidden", "backends", "seeds")
+
+_TRUE_WORDS = ("true", "1", "yes", "on")
+_FALSE_WORDS = ("false", "0", "no", "off")
+
+
+@functools.lru_cache(maxsize=1)
+def _spec_field_types() -> Dict[str, object]:
+    """Resolved type annotation per :class:`ExperimentSpec` field."""
+    hints = typing.get_type_hints(ExperimentSpec)
+    return {f.name: hints[f.name]
+            for f in dataclasses.fields(ExperimentSpec)}
+
+
+def _coerce_scalar(value: object, kind: type, field: str) -> object:
+    if kind is bool:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, str):
+            if value.lower() in _TRUE_WORDS:
+                return True
+            if value.lower() in _FALSE_WORDS:
+                return False
+        raise ValueError(
+            f"axis {field!r} wants a bool, got {value!r} "
+            f"(use true/false)")
+    if kind is int:
+        if isinstance(value, bool):
+            raise ValueError(f"axis {field!r} wants an int, got {value!r}")
+        if isinstance(value, int):
+            return value
+        try:
+            as_float = float(value)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"axis {field!r} wants an int, got {value!r}") from None
+        if as_float != int(as_float):
+            raise ValueError(
+                f"axis {field!r} wants an int, got {value!r}")
+        return int(as_float)
+    if kind is float:
+        if isinstance(value, bool):
+            raise ValueError(f"axis {field!r} wants a float, got {value!r}")
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"axis {field!r} wants a float, got {value!r}") from None
+    if kind is str:
+        if not isinstance(value, str):
+            raise ValueError(f"axis {field!r} wants a string, got {value!r}")
+        return value
+    return value
+
+
+def coerce_axis_value(field: str, value: object) -> object:
+    """Coerce one sweep-axis value to the spec field's declared type.
+
+    CLI ``--axis F=V1,V2`` values arrive as parsed-JSON-or-bare-string
+    tokens; a bare ``16`` already comes back as an int, but quoted or
+    unparseable tokens stay strings and would otherwise poison the
+    expanded specs (``phase_length="16"`` type-checks nowhere until deep
+    inside a run).  This resolves the target type from
+    :class:`ExperimentSpec`'s annotations — ``Optional`` unwrapped, tuple
+    fields coerced elementwise — and raises a clear :class:`ValueError`
+    for unknown fields or unconvertible values.  ``params.<key>`` paths
+    are schemaless and pass through unchanged.
+    """
+    if field.startswith(PARAMS_PREFIX):
+        return value
+    if field == "params":
+        raise ValueError("sweep 'params' via dotted params.<key> axes")
+    hints = _spec_field_types()
+    if field not in hints:
+        raise ValueError(
+            f"axis field {field!r} is neither an ExperimentSpec field "
+            f"nor a params.<key> path (fields: {sorted(hints)})")
+    target = hints[field]
+    if typing.get_origin(target) is typing.Union:  # Optional[X]
+        args = [a for a in typing.get_args(target) if a is not type(None)]
+        if value is None or (isinstance(value, str)
+                             and value.lower() in ("none", "null")):
+            return None
+        target = args[0]
+    if typing.get_origin(target) is tuple:
+        element = typing.get_args(target)[0]
+        if isinstance(value, (list, tuple)):
+            return [_coerce_scalar(v, element, field) for v in value]
+        return _coerce_scalar(value, element, field)
+    if isinstance(target, type):
+        return _coerce_scalar(value, target, field)
+    return value
 
 
 def apply_overrides(base: ExperimentSpec,

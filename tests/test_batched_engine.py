@@ -271,8 +271,11 @@ class TestOnChipBatchAPI:
         out = trainer.train_batch(xs[0], [int(ys[0])])  # 1-D sample -> B=1
         assert out["predictions"].shape == (1,)
         assert trainer.infer_batch(xs[0]).shape == (1, 3)
+        # minibatch mode rides the batch-parallel replicated runtime
+        out = trainer.fit_batch(xs, ys, update_mode="minibatch")
+        assert out["predictions"].shape == (2,)
         with pytest.raises(ValueError):
-            trainer.fit_batch(xs, ys, update_mode="minibatch")
+            trainer.fit_batch(xs, ys, update_mode="bogus")
 
     def test_predict_and_evaluate_batch(self, trainer):
         xs, ys = make_blobs(6, 3, 5, seed=3)

@@ -86,6 +86,62 @@ def test_unknown_axis_field_raises():
         apply_overrides(fast_base(), {"params": {"a": 1}})
 
 
+def test_axis_value_coercion_to_declared_types():
+    from repro.sweeps import coerce_axis_value
+
+    # int fields: strings and integral floats coerce, junk raises
+    assert coerce_axis_value("phase_length", "16") == 16
+    assert coerce_axis_value("epochs", 2.0) == 2
+    assert coerce_axis_value("n_train", 40) == 40
+    with pytest.raises(ValueError, match="int"):
+        coerce_axis_value("epochs", "two")
+    with pytest.raises(ValueError, match="int"):
+        coerce_axis_value("epochs", 1.5)
+    # bool field
+    assert coerce_axis_value("tiny", "true") is True
+    assert coerce_axis_value("tiny", "False") is False
+    with pytest.raises(ValueError, match="bool"):
+        coerce_axis_value("tiny", "maybe")
+    # Optional[int]: none passes through, values coerce
+    assert coerce_axis_value("phase_length", "none") is None
+    assert coerce_axis_value("phase_length", None) is None
+    # tuple fields coerce elementwise, scalars stay scalars
+    assert coerce_axis_value("hidden", ["16", 8]) == [16, 8]
+    assert coerce_axis_value("hidden", "24") == 24
+    assert coerce_axis_value("backends", "rate") == "rate"
+    # str field rejects non-strings
+    with pytest.raises(ValueError, match="string"):
+        coerce_axis_value("dataset", 3)
+    # params.<key> paths are schemaless and untouched
+    assert coerce_axis_value("params.T", "16") == "16"
+    # unknown fields fail with the field listing
+    with pytest.raises(ValueError, match="neither"):
+        coerce_axis_value("bogus", 1)
+    with pytest.raises(ValueError, match="params"):
+        coerce_axis_value("params", {})
+
+
+def test_cli_axis_values_reach_specs_with_declared_types(capsys, tmp_path):
+    """Regression: `--axis phase_length=16,32` must not poison specs with
+    strings (quoted values used to survive as str all the way into runs)."""
+    from repro.cli import _parse_axes
+
+    axes = _parse_axes(["phase_length=16,32", 'dataset="mnist_like"',
+                        "params.T=8,12"])
+    assert axes[0].values == (16, 32)
+    assert all(isinstance(v, int) for v in axes[0].values)
+    assert axes[1].values == ("mnist_like",)
+    assert axes[2].values == (8, 12)  # params via JSON parsing
+    # a typoed field fails at parse time with a clear error (the CLI
+    # surfaces it as exit code 2 before any point runs)
+    with pytest.raises(ValueError, match="neither"):
+        _parse_axes(["phse_length=16"])
+    assert cli.main(["sweep", "run", "offline_accuracy",
+                     "--axis", "epochs=one,two",
+                     "--out", str(tmp_path)]) == 2
+    assert "wants an int" in capsys.readouterr().err
+
+
 def test_random_axes_are_deterministic_and_bounded():
     spec = fast_sweep(
         grid=(), n_random=8, rng_seed=5,
@@ -349,6 +405,54 @@ def test_corrupt_dataset_keeps_labels_and_name():
     noisy = corrupt_dataset(train, 0.2, seed=1)
     np.testing.assert_array_equal(noisy.labels, train.labels)
     assert noisy.name == train.name and len(noisy) == len(train)
+
+
+def test_corruption_occlusion_accepts_flat_input():
+    """Regression: flat (N, D) input used to crash on images.shape[2]."""
+    spatial = np.ones((3, 8, 8))
+    flat = spatial.reshape(3, -1)
+    # Same rng -> same patches whether the input arrives flat or spatial.
+    a = corrupt_images(spatial, 0.25, rng=7, kind="occlusion")
+    b = corrupt_images(flat, 0.25, rng=7, kind="occlusion")
+    assert b.shape == flat.shape  # output keeps the input's shape
+    np.testing.assert_array_equal(a.reshape(3, -1), b)
+    # Explicit non-square geometry via image_shape.
+    rect = np.ones((2, 4 * 6))
+    out = corrupt_images(rect, 0.25, rng=1, kind="occlusion",
+                         image_shape=(4, 6))
+    assert out.shape == rect.shape and (out == 0).any()
+
+
+def test_corruption_occlusion_flat_input_error_cases():
+    flat = np.ones((2, 12))  # 12 is not a perfect square
+    with pytest.raises(ValueError, match="perfect square"):
+        corrupt_images(flat, 0.25, rng=1, kind="occlusion")
+    with pytest.raises(ValueError, match="pixels"):
+        corrupt_images(flat, 0.25, rng=1, kind="occlusion",
+                       image_shape=(5, 5))
+    with pytest.raises(ValueError, match="image_shape"):
+        corrupt_images(flat, 0.25, rng=1, kind="occlusion",
+                       image_shape=(12,))
+
+
+def test_corruption_occlusion_channels_last_covers_all_channels():
+    images = np.ones((2, 8, 8, 3))
+    out = corrupt_images(images, 0.25, rng=2, kind="occlusion")
+    assert out.shape == images.shape
+    for img in out:
+        covered = np.argwhere((img == 0).any(axis=-1))
+        assert len(covered) == 16  # 4x4 patch
+        # every covered pixel is zeroed across *all* channels
+        assert (img[(img == 0).any(axis=-1)] == 0).all()
+
+
+def test_corrupt_dataset_flat_images_pass_through_pixelwise_kinds():
+    from repro.data.synth import Dataset
+
+    flat = Dataset(np.random.default_rng(0).random((4, 10)),
+                   np.zeros(4, dtype=int))
+    out = corrupt_dataset(flat, 0.2, seed=1, kind="gaussian")
+    assert out.images.shape == flat.images.shape
 
 
 # ---------------------------------------------------------------------------
