@@ -1,0 +1,117 @@
+"""Pure-NumPy kernel backend — the bit-exact reference implementation.
+
+Every other backend is pinned to this one by ``tests/test_kernels.py``
+(exact ``array_equal``, never ``allclose``).  All operations are elementwise
+IEEE-754 (or exact integer) arithmetic in a defined per-element order, so a
+compiled loop performing the same operations reproduces the results bit for
+bit.  Reductions are therefore written with an explicit order: the batched
+Eq. (7) kernel accumulates per-sample outer products in batch order rather
+than delegating to a BLAS GEMM, whose blocked summation order is
+unspecified and unreproducible from a plain loop.
+
+Scalars are cast to the array dtype *before* entering the arithmetic so the
+float32 path performs genuine float32 operations (matching the compiled
+backends) instead of promoting to float64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def if_step(v, refrac, drive, threshold, soft_reset, refractory):
+    dt = v.dtype.type
+    thr = dt(threshold)
+    margin = thr - dt(1e-9)
+    active = refrac == 0
+    np.copyto(v, np.where(active, v + drive, v))
+    # The epsilon margin keeps grid-exact drives (e.g. 0.3 over 100 steps)
+    # from losing a spike to float accumulation error.
+    spikes = active & (v >= margin)
+    if soft_reset:
+        np.copyto(v, np.where(spikes, v - thr, v))
+    else:
+        np.copyto(v, np.where(spikes, dt(0), v))
+    np.clip(v, 0, None, out=v)
+    if refractory:
+        refrac[spikes] = refractory
+        refrac[~spikes & (refrac > 0)] -= 1
+    return spikes
+
+
+def cuba_step(u, v, refrac, bias, syn, decay_u, decay_v, vth, soft_reset,
+              refractory, floor_at_zero, non_spiking):
+    # Current decay then accumulation (Eq. 8, forward-Euler, integer).
+    np.copyto(u, (u * (4096 - decay_u)) // 4096 + syn)
+    ok = refrac == 0
+    leaked = (v * (4096 - decay_v)) // 4096
+    np.copyto(v, np.where(ok, leaked + u + bias, v))
+    if floor_at_zero:
+        np.clip(v, 0, None, out=v)
+    if non_spiking:
+        return np.zeros(v.shape, dtype=bool)
+    fired = ok & (v >= vth)
+    if soft_reset:
+        np.copyto(v, np.where(fired, v - vth, v))
+    else:
+        np.copyto(v, np.where(fired, 0, v))
+    if refractory:
+        refrac[fired] = refractory
+        refrac[~fired & (refrac > 0)] -= 1
+    return fired
+
+
+def trace_update(values, spikes, impulse, decay, trace_max):
+    dt = values.dtype.type
+    if decay != 1.0:
+        values *= dt(decay)
+    bumped = values + np.where(spikes, dt(impulse), dt(0))
+    np.copyto(values, np.minimum(bumped, dt(trace_max)))
+
+
+def delta_w(h_hat, h, pre, eta):
+    dt = h_hat.dtype.type
+    diff = h_hat - h
+    return dt(eta) * (pre[:, None] * diff[None, :])
+
+
+def delta_w_batch(h_hat, h, pre, eta, mean):
+    dt = h_hat.dtype.type
+    nb = h_hat.shape[0]
+    diff = h_hat - h
+    acc = np.zeros((pre.shape[1], h_hat.shape[1]), dtype=h_hat.dtype)
+    for b in range(nb):
+        acc += pre[b][:, None] * diff[b][None, :]
+    dw = dt(eta) * acc
+    if mean:
+        dw = dw / dt(nb)
+    return dw
+
+
+def delta_w_loihi(h_hat, z, pre, eta):
+    dt = h_hat.dtype.type
+    coeff = dt(2.0 * eta) * h_hat - dt(eta) * z
+    return pre[:, None] * coeff[None, :]
+
+
+def sop_eval(scales, offs, kinds, idxs, consts, pre_stack, post_stack,
+             syn_stack, n_rep, n_src, n_dst):
+    pre = pre_stack.reshape(-1, n_rep, n_src)
+    post = post_stack.reshape(-1, n_rep, n_dst)
+    syn = syn_stack.reshape(-1, n_rep, n_src, n_dst)
+    dz = np.zeros((n_rep, n_src, n_dst), dtype=np.float64)
+    for t in range(len(scales)):
+        value = np.float64(scales[t])
+        for f in range(offs[t], offs[t + 1]):
+            kind = kinds[f]
+            if kind == 0:
+                base = pre[idxs[f]][:, :, None]
+            elif kind == 1:
+                base = post[idxs[f]][:, None, :]
+            elif kind == 2:
+                base = syn[idxs[f]]
+            else:
+                base = np.float64(0.0)
+            value = value * (base + consts[f])
+        dz = dz + value
+    return dz

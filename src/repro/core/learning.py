@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from . import kernels
 from .quantize import quantize_weights
 
 
@@ -32,37 +33,42 @@ def delta_w_reference(h_hat_post: np.ndarray, h_post: np.ndarray,
     ``(len(h_pre), len(h_post))`` matching the forward weight layout
     ``potential = rates_pre @ W``.
     """
-    diff = np.asarray(h_hat_post, dtype=float) - np.asarray(h_post, dtype=float)
-    return eta * np.outer(np.asarray(h_pre, dtype=float), diff)
+    return kernels.delta_w(np.asarray(h_hat_post, dtype=float),
+                           np.asarray(h_post, dtype=float),
+                           np.asarray(h_pre, dtype=float), eta)
 
 
 def delta_w_reference_batch(h_hat_post: np.ndarray, h_post: np.ndarray,
                             h_pre: np.ndarray, eta: float,
                             reduction: str = "mean") -> np.ndarray:
-    """Batched Eq. (7): one GEMM instead of ``B`` outer products.
+    """Batched Eq. (7): the per-sample outer products reduced in one pass.
 
     ``h_hat_post`` and ``h_post`` are ``(B, n_post)``, ``h_pre`` is
     ``(B, n_pre)``.  The per-sample deltas ``eta * (h_hat_b - h_b) (x)
     pre_b`` are reduced over the batch — ``"mean"`` (minibatch SGD
     semantics) or ``"sum"`` (equivalent to applying every per-sample delta
     against the same frozen weights).  Returns ``(n_pre, n_post)``.
+
+    The reduction accumulates in batch order (sample 0 first) — a defined
+    order is part of the kernel contract so the compiled backends can be
+    pinned bit-identical to the NumPy reference; a BLAS GEMM's blocked
+    summation order could not be reproduced by a plain loop.
     """
     if reduction not in ("mean", "sum"):
         raise ValueError(f"reduction must be 'mean' or 'sum', got {reduction!r}")
-    diff = np.asarray(h_hat_post, dtype=float) - np.asarray(h_post, dtype=float)
+    h_hat = np.asarray(h_hat_post, dtype=float)
+    h = np.asarray(h_post, dtype=float)
     pre = np.asarray(h_pre, dtype=float)
-    if diff.ndim != 2 or pre.ndim != 2 or diff.shape[0] != pre.shape[0]:
+    if h_hat.ndim != 2 or pre.ndim != 2 or h_hat.shape[0] != pre.shape[0]:
         raise ValueError(
-            f"expected (B, n_post) and (B, n_pre) stacks, got {diff.shape} "
+            f"expected (B, n_post) and (B, n_pre) stacks, got {h_hat.shape} "
             f"and {pre.shape}")
-    if diff.shape[0] == 0:
+    if h_hat.shape[0] == 0:
         # The mean of zero per-sample deltas is undefined (0/0 would NaN
         # the weights); callers must skip the update for an empty batch.
         raise ValueError("cannot reduce an empty batch")
-    dw = eta * (pre.T @ diff)
-    if reduction == "mean":
-        dw = dw / diff.shape[0]
-    return dw
+    return kernels.delta_w_batch(h_hat, h, pre, eta,
+                                 mean=(reduction == "mean"))
 
 
 def delta_w_loihi_form(h_hat_post: np.ndarray, z_post: np.ndarray,
@@ -73,10 +79,9 @@ def delta_w_loihi_form(h_hat_post: np.ndarray, z_post: np.ndarray,
     phases; ``pre_trace`` is whatever the presynaptic trace holds at the end
     of phase 2.
     """
-    h_hat = np.asarray(h_hat_post, dtype=float)
-    z = np.asarray(z_post, dtype=float)
-    pre = np.asarray(pre_trace, dtype=float)
-    return np.outer(pre, 2.0 * eta * h_hat - eta * z)
+    return kernels.delta_w_loihi(np.asarray(h_hat_post, dtype=float),
+                                 np.asarray(z_post, dtype=float),
+                                 np.asarray(pre_trace, dtype=float), eta)
 
 
 class WeightUpdater:

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import kernels
+
 
 class IFLayer:
     """A vectorized layer of integrate-and-fire neurons.
@@ -81,22 +83,16 @@ class IFLayer:
         if drive.shape != self._state_shape:
             raise ValueError(
                 f"drive must have shape {self._state_shape}, got {drive.shape}")
-        active = self._refrac_left == 0
-        self.v = np.where(active, self.v + drive, self.v)
-        # The epsilon keeps grid-exact drives (e.g. 0.3 over 100 steps) from
-        # losing a spike to float accumulation error.
-        spikes = active & (self.v >= self.threshold - 1e-9)
-        if self.soft_reset:
-            self.v = np.where(spikes, self.v - self.threshold, self.v)
-        else:
-            self.v = np.where(spikes, 0.0, self.v)
-        # IF neurons in EMSTDP never integrate below the resting potential:
-        # a negative membrane would silently store "anti-spikes" that the
-        # rate activation floor(u/theta) does not model.
-        np.clip(self.v, 0.0, None, out=self.v)
-        if self.refractory:
-            self._refrac_left[spikes] = self.refractory
-            self._refrac_left[~spikes & (self._refrac_left > 0)] -= 1
+        # Integrate, spike (with the epsilon margin that keeps grid-exact
+        # drives from losing a spike to float accumulation error), soft/hard
+        # reset, and floor at the resting potential: a negative membrane
+        # would silently store "anti-spikes" that the rate activation
+        # floor(u/theta) does not model.  The whole update runs in the
+        # selected kernel backend, mutating v and the refractory counters
+        # in place.
+        spikes = kernels.if_step(self.v, self._refrac_left, drive,
+                                 self.threshold, soft_reset=self.soft_reset,
+                                 refractory=self.refractory)
         self.spike_count += spikes
         return spikes
 

@@ -22,6 +22,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..core import kernels
+
 #: Fixed-point shift of mantissa parameters (Loihi uses ``mant << 6``).
 MANT_SHIFT = 6
 
@@ -210,26 +212,19 @@ class CompartmentGroup:
             return self.spikes
         syn_input = np.asarray(syn_input, dtype=np.int64)
         p = self.proto
-        # Current decay then accumulation (Eq. 8, forward-Euler, integer).
-        self.u = (self.u * (DECAY_SCALE - p.decay_u)) // DECAY_SCALE
-        self.u = self.u + syn_input
-        ok = self._refrac == 0
-        leaked = (self.v * (DECAY_SCALE - p.decay_v)) // DECAY_SCALE
-        self.v = np.where(ok, leaked + self.u + self.bias, self.v)
-        if p.floor_at_zero:
-            np.clip(self.v, 0, None, out=self.v)
+        # Current decay/accumulation (Eq. 8, forward-Euler, integer), leak,
+        # threshold, reset and refractory bookkeeping all run in the
+        # selected kernel backend, mutating u, v and the refractory
+        # counters in place.
+        fired = kernels.cuba_step(self.u, self.v, self._refrac, self.bias,
+                                  syn_input, p.decay_u, p.decay_v, p.vth,
+                                  soft_reset=p.soft_reset,
+                                  refractory=p.refractory,
+                                  floor_at_zero=p.floor_at_zero,
+                                  non_spiking=p.non_spiking)
         if p.non_spiking:
             self.spikes = np.zeros(self.state_shape, dtype=bool)
             return self.spikes
-        fired = ok & (self.v >= p.vth)
-        if p.soft_reset:
-            self.v = np.where(fired, self.v - p.vth, self.v)
-        else:
-            self.v = np.where(fired, 0, self.v)
-        if p.refractory:
-            self._refrac[fired] = p.refractory
-            decrement = ~fired & (self._refrac > 0)
-            self._refrac[decrement] -= 1
         if self.gate_group is not None:
             fired = fired & self.gate_group.active()
         if self.merge_group is not None:

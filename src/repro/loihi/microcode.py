@@ -36,10 +36,11 @@ from __future__ import annotations
 
 import dataclasses
 import re
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..core import kernels
 from .synapse import ConnectionGroup, TAG_MAX, WEIGHT_MANT_MAX
 
 _VARIABLES = ("x0", "x1", "y0", "y1", "t", "w")
@@ -190,46 +191,20 @@ class LearningEngine:
             self.rng = rng if rng is not None else np.random.default_rng()
         self.stochastic_rounding = bool(stochastic_rounding)
 
-    # -- variable extraction ----------------------------------------------
-
-    def _variables(self, conn: ConnectionGroup) -> Dict[str, np.ndarray]:
-        if not conn.plastic:
-            raise ValueError(f"connection {conn.name!r} is not plastic")
-        if conn.replicas > 1:
-            # Batched: every per-neuron quantity broadcasts over the
-            # trailing (src.n, dst.n) axes with the replica axis leading.
-            return {
-                "x0": conn.src.spikes.astype(np.int64)[:, :, None],
-                "x1": conn.pre_trace.read()[:, :, None],
-                "y0": conn.dst.spikes.astype(np.int64)[:, None, :],
-                "y1": conn.post_trace.read()[:, None, :],
-                "t": conn.tag,
-                "w": conn.weight_mant,
-            }
-        return {
-            "x0": conn.src.spikes.astype(np.int64)[:, None],
-            "x1": conn.pre_trace.read()[:, None],
-            "y0": conn.dst.spikes.astype(np.int64)[None, :],
-            "y1": conn.post_trace.read()[None, :],
-            "t": conn.tag,
-            "w": conn.weight_mant,
-        }
-
     def evaluate(self, rule: SumOfProducts, conn: ConnectionGroup) -> np.ndarray:
         """The raw (float) ``dz`` block for a rule on a connection.
 
         Shape ``(src.n, dst.n)``, with a leading replica axis when the
-        connection is replicated.
+        connection is replicated.  The sum-of-products itself runs in the
+        selected kernel backend.
         """
-        variables = self._variables(conn)
-        dz = np.zeros(conn.weight_mant.shape, dtype=np.float64)
-        for term in rule.terms:
-            value = np.array(float(term.sign) * 2.0 ** term.scale_exp)
-            for factor in term.factors:
-                base = variables[factor.var] if factor.var is not None else 0
-                value = value * (base + factor.const)
-            dz = dz + value
-        return dz
+        if not conn.plastic:
+            raise ValueError(f"connection {conn.name!r} is not plastic")
+        return kernels.sum_of_products(
+            rule,
+            conn.src.spikes.astype(np.int64), conn.pre_trace.read(),
+            conn.dst.spikes.astype(np.int64), conn.post_trace.read(),
+            conn.tag, conn.weight_mant)
 
     def _round(self, dz: np.ndarray) -> np.ndarray:
         if self.stochastic_rounding:

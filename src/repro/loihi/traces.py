@@ -16,6 +16,8 @@ import dataclasses
 
 import numpy as np
 
+from ..core import kernels
+
 #: Saturation value of a hardware trace register.
 TRACE_MAX = 127
 
@@ -61,10 +63,8 @@ class TraceState:
         spikes = np.asarray(spikes, dtype=bool)
         if spikes.shape != self.shape:
             raise ValueError(f"spikes must have shape {self.shape}")
-        if self.config.decay != 1.0:
-            self.values *= self.config.decay
-        self.values = np.minimum(self.values + self.config.impulse * spikes,
-                                 TRACE_MAX)
+        kernels.trace_update(self.values, spikes, self.config.impulse,
+                             self.config.decay, TRACE_MAX)
 
     def read(self) -> np.ndarray:
         """Integer trace values as the learning engine sees them."""

@@ -1,0 +1,123 @@
+"""Regenerate the golden kernel fixtures (``kernels_golden.npz``).
+
+The fixtures pin the EMSTDP learning-rule outputs — Eq. (7), its ordered
+batch reduction, Eq. (12) and the microcode sum-of-products — to the exact
+float64 values the reference NumPy implementation produced when they were
+first recorded.  ``tests/test_kernels.py`` asserts every kernel backend
+reproduces them bit for bit, so a kernel edit that drifts the math by even
+one ulp fails loudly instead of silently skewing training.
+
+Run from the repo root (only when the *reference semantics* intentionally
+change, never to paper over a failing equivalence test)::
+
+    PYTHONPATH=src python tests/golden/generate.py
+
+All inputs are stored alongside the outputs so the test does not depend on
+RNG reproducibility across NumPy versions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.learning import delta_w_loihi_form, delta_w_reference
+
+#: Microcode rules pinned by the fixture (stored as text, parsed on load).
+RULES = (
+    "dt = y1",
+    "dw = 2^-2 * y1 * x1 - 2^-3 * t * x1",
+    "dw = 2^-4 * y1 * (x1 + 2) - 2^-6 * t * w + 3",
+)
+
+OUT = Path(__file__).with_name("kernels_golden.npz")
+
+
+def _sop_reference(rule_text: str, x0, x1, y0, y1, tag, w) -> np.ndarray:
+    """Reference sum-of-products evaluation (mirrors LearningEngine)."""
+    from repro.loihi.microcode import parse_rule
+
+    rule = parse_rule(rule_text)
+    if x0.ndim == 2:  # replicated: (R, S) / (R, D) / (R, S, D)
+        variables = {
+            "x0": x0[:, :, None], "x1": x1[:, :, None],
+            "y0": y0[:, None, :], "y1": y1[:, None, :],
+            "t": tag, "w": w,
+        }
+    else:
+        variables = {
+            "x0": x0[:, None], "x1": x1[:, None],
+            "y0": y0[None, :], "y1": y1[None, :],
+            "t": tag, "w": w,
+        }
+    dz = np.zeros(w.shape, dtype=np.float64)
+    for term in rule.terms:
+        value = np.array(float(term.sign) * 2.0 ** term.scale_exp)
+        for factor in term.factors:
+            base = variables[factor.var] if factor.var is not None else 0
+            value = value * (base + factor.const)
+        dz = dz + value
+    return dz
+
+
+def main() -> None:
+    rng = np.random.default_rng(20260807)
+    data = {}
+
+    # -- Eq. (7): dW = eta * (h_hat - h) (x) h_pre ----------------------
+    n_pre, n_post, eta = 48, 32, 0.125
+    h_hat = rng.random(n_post)
+    h = rng.random(n_post)
+    pre = rng.random(n_pre)
+    data.update(eq7_h_hat=h_hat, eq7_h=h, eq7_pre=pre,
+                eq7_eta=np.float64(eta),
+                eq7_dw=delta_w_reference(h_hat, h, pre, eta))
+
+    # -- Ordered batch reduction of Eq. (7) -----------------------------
+    # The reference order is defined as: accumulate per-sample outer
+    # products in batch order, then scale by eta (and 1/B for the mean).
+    B = 16
+    bh_hat = rng.random((B, n_post))
+    bh = rng.random((B, n_post))
+    bpre = rng.random((B, n_pre))
+    diff = bh_hat - bh
+    acc = np.zeros((n_pre, n_post))
+    for b in range(B):
+        acc += bpre[b][:, None] * diff[b][None, :]
+    data.update(eq7b_h_hat=bh_hat, eq7b_h=bh, eq7b_pre=bpre,
+                eq7b_eta=np.float64(eta),
+                eq7b_dw_sum=eta * acc,
+                eq7b_dw_mean=(eta * acc) / B)
+
+    # -- Eq. (12): dW = 2*eta * h_hat (x) pre - eta * Z (x) pre ---------
+    z = rng.random(n_post) * 2.0
+    data.update(eq12_h_hat=h_hat, eq12_z=z, eq12_pre=pre,
+                eq12_eta=np.float64(eta),
+                eq12_dw=delta_w_loihi_form(h_hat, z, pre, eta))
+
+    # -- Microcode sum-of-products (single replica and replicated) ------
+    S, D, R = 12, 7, 3
+    for tag_name, shape_pre, shape_post, shape_syn in (
+            ("sop1", (S,), (D,), (S, D)),
+            ("sopR", (R, S), (R, D), (R, S, D))):
+        x0 = (rng.random(shape_pre) < 0.5).astype(np.int64)
+        x1 = rng.integers(0, 128, shape_pre, dtype=np.int64)
+        y0 = (rng.random(shape_post) < 0.5).astype(np.int64)
+        y1 = rng.integers(0, 128, shape_post, dtype=np.int64)
+        tag = rng.integers(-255, 256, shape_syn, dtype=np.int64)
+        w = rng.integers(-127, 128, shape_syn, dtype=np.int64)
+        data.update({f"{tag_name}_x0": x0, f"{tag_name}_x1": x1,
+                     f"{tag_name}_y0": y0, f"{tag_name}_y1": y1,
+                     f"{tag_name}_t": tag, f"{tag_name}_w": w})
+        for k, rule_text in enumerate(RULES):
+            data[f"{tag_name}_dz{k}"] = _sop_reference(
+                rule_text, x0, x1, y0, y1, tag, w)
+
+    data["rules"] = np.array(RULES)
+    np.savez_compressed(OUT, **data)
+    print(f"golden fixtures -> {OUT} ({len(data)} arrays)")
+
+
+if __name__ == "__main__":
+    main()

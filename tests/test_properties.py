@@ -114,3 +114,69 @@ class TestDeterminism:
             nets.append(net)
         for wa, wb in zip(nets[0].weights, nets[1].weights):
             assert np.array_equal(wa, wb)
+
+
+class TestKernelInvariants:
+    """Property-style invariants of the backend-selected hot kernels.
+
+    These run on whatever backend is active (all backends are pinned
+    bit-identical by ``tests/test_kernels.py``, so the invariants transfer).
+    """
+
+    @given(v0=st.lists(st.floats(0.0, 3.0), min_size=1, max_size=16),
+           drive=st.floats(-1.0, 1.5), threshold=st.floats(0.5, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_membrane_reset_only_where_spiked(self, v0, drive, threshold):
+        """Neurons that do not spike just integrate (floored at rest)."""
+        from repro.core import kernels
+        v = np.array(v0)
+        refrac = np.zeros(len(v0), dtype=np.int64)
+        expected_quiet = np.maximum(v + drive, 0.0)
+        spikes = kernels.if_step(v, refrac, np.full(len(v0), drive),
+                                 threshold)
+        assert np.array_equal(v[~spikes], expected_quiet[~spikes])
+        # Spiking neurons lost exactly one threshold (soft reset).
+        assert np.allclose(v[spikes], expected_quiet[spikes] - threshold)
+
+    @given(values=st.lists(st.floats(0.0, 127.0), min_size=1, max_size=16),
+           decay=st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_trace_decay_monotone_toward_zero(self, values, decay):
+        """Without spikes a trace never grows and never crosses zero."""
+        from repro.core import kernels
+        trace = np.array(values)
+        before = trace.copy()
+        kernels.trace_update(trace, np.zeros(len(values), dtype=bool),
+                             impulse=1, decay=decay, trace_max=127)
+        assert (trace <= before).all()
+        assert (trace >= 0).all()
+
+    @given(h=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=12),
+           pre=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=12),
+           eta=st.floats(1e-3, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_dw_zero_when_activity_zero(self, h, pre, eta):
+        """No presynaptic activity, or h_hat == h, means exactly dW == 0."""
+        from repro.core import kernels
+        h = np.array(h)
+        pre = np.array(pre)
+        assert (kernels.delta_w(h, h, pre, eta) == 0).all()
+        assert (kernels.delta_w(h, np.zeros_like(h), np.zeros_like(pre),
+                                eta) == 0).all()
+        zero = np.zeros_like(h)
+        assert (kernels.delta_w_loihi(zero, zero, pre, eta) == 0).all()
+
+    @given(y1=st.integers(0, 127), t=st.integers(-255, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_microcode_dw_zero_without_presynaptic_trace(self, y1, t):
+        """Every Eq. (12) term carries an x1 factor: x1 == 0 kills dw."""
+        from repro.core import kernels
+        from repro.loihi import parse_rule as _parse
+        rule = _parse("dw = 2^-7 * y1 * x1 - 2^-8 * t * x1")
+        dz = kernels.sum_of_products(
+            rule, np.zeros(3, dtype=np.int64), np.zeros(3, dtype=np.int64),
+            np.array([1, 0], dtype=np.int64),
+            np.full(2, y1, dtype=np.int64),
+            np.full((3, 2), t, dtype=np.int64),
+            np.zeros((3, 2), dtype=np.int64))
+        assert (dz == 0).all()
