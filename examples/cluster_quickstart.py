@@ -1,0 +1,156 @@
+"""Cluster quickstart: boot a supervised worker pool, hurt it, watch it heal.
+
+End-to-end walk through ``repro.cluster``:
+
+1. train a small EMSTDP network, checkpoint it twice (v1, then v2 after
+   more training) — the second stem is the rolling-upgrade target;
+2. boot a 2-worker cluster: a :class:`Supervisor` spawning self-loading
+   model-worker processes, a :class:`ClusterService` front end routing
+   over them, and the stdlib HTTP server on top;
+3. fire a closed-loop load run at ``POST /predict``;
+4. **SIGKILL one worker** and assert the supervision contract: the death
+   is detected, quorum ``/healthz`` degrades, the worker restarts within
+   the backoff budget, and quorum recovers;
+5. **rolling hot-swap** to the v2 checkpoint through ``POST /admin/swap``
+   while background load runs — zero hard errors allowed (admission 503s
+   are fine; refused-by-absence is not), version visibly bumps;
+6. drain: every worker finishes its in-flight micro-batches and confirms.
+
+This doubles as the CI ``cluster-smoke`` script: every step asserts, and
+the script exits non-zero on any broken contract.
+
+Run:  PYTHONPATH=src python examples/cluster_quickstart.py [--tiny]
+      (--tiny shrinks training + load for CI; the default takes ~60 s)
+"""
+
+import json
+import os
+import signal
+import sys
+import threading
+import time
+import urllib.request
+
+from repro.cluster import ClusterService, Supervisor, WorkerSpec
+from repro.core import EMSTDPNetwork, full_precision_config
+from repro.data import make_blobs
+from repro.persist import save_checkpoint
+from repro.serve import InferenceHTTPServer, http_predict_fn, run_load
+
+
+def _wait(predicate, timeout_s: float) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return predicate()
+
+
+def main(tiny: bool = False) -> int:
+    n_requests = 120 if tiny else 600
+    n_train = 60 if tiny else 200
+    dims = (32, 24, 6)
+
+    print(f"training a {dims} EMSTDP network...")
+    net = EMSTDPNetwork(dims, full_precision_config(seed=1, phase_length=16))
+    xs, ys = make_blobs(dims[0], dims[-1], 300, seed=0)
+    net.train_stream(xs[:n_train], ys[:n_train])
+    stem_v1 = "runs/cluster-quickstart/ckpt/blobs-net"
+    save_checkpoint(net, stem_v1, meta={"example": "cluster_quickstart"})
+    net.train_stream(xs[n_train:n_train + n_train // 2],
+                     ys[n_train:n_train + n_train // 2])
+    stem_v2 = "runs/cluster-quickstart/ckpt/blobs-net-retrained"
+    save_checkpoint(net, stem_v2, meta={"example": "cluster_quickstart"})
+    print(f"  checkpoints: {stem_v1} (v1), {stem_v2} (upgrade target)")
+
+    print("\nbooting a 2-worker cluster (workers self-load the checkpoint)")
+    spec = WorkerSpec(source=stem_v1, max_batch=8, heartbeat_s=0.2)
+    # Generous heartbeat timeout: on a 1-core CI runner a busy worker's
+    # heartbeat thread can stall for seconds; crash detection (step 4)
+    # goes through pipe EOF, not heartbeats, so stays instant.
+    supervisor = Supervisor(spec, n_workers=2, heartbeat_timeout_s=30.0,
+                            backoff_base_s=0.2, backoff_cap_s=1.0)
+    supervisor.start(wait=True)
+    service = ClusterService(supervisor, max_inflight_per_worker=32)
+    server = InferenceHTTPServer(service, port=0).start()
+    pids = [w["pid"] for w in supervisor.describe()]
+    print(f"  front end {server.url} (pid {os.getpid()}), workers {pids}")
+
+    try:
+        # -- 3: serve under load ----------------------------------------
+        report = run_load(http_predict_fn(server.url), xs[:40],
+                          n_requests=n_requests, n_clients=8)
+        print(f"\nload run: {report.requests} requests -> "
+              f"{report.throughput_rps:.0f} rps, p99 "
+              f"{report.latency_ms['p99']:.1f} ms, errors {report.errors}, "
+              f"rejected {report.rejected}")
+        assert report.errors == 0, f"{report.errors} request(s) failed"
+
+        # -- 4: kill a worker, watch supervision heal it -----------------
+        victim = supervisor.describe()[0]["pid"]
+        print(f"\nSIGKILL worker pid {victim} ...")
+        os.kill(victim, signal.SIGKILL)
+        assert _wait(lambda: supervisor.live_count() < 2, 10.0), \
+            "worker death never detected"
+        degraded = service.healthz()
+        print(f"  detected: healthz {degraded['status']} "
+              f"(live {degraded['live_workers']}/{degraded['workers']})")
+        t0 = time.monotonic()
+        assert _wait(lambda: supervisor.live_count() == 2, 30.0), \
+            "worker not restarted within the backoff budget"
+        healed = service.healthz()
+        print(f"  restarted in {time.monotonic() - t0:.2f}s: healthz "
+              f"{healed['status']}, restarts {healed['restarts']}")
+        assert healed["status"] == "ok" and healed["restarts"] >= 1
+
+        # -- 5: rolling hot-swap under background load -------------------
+        print(f"\nrolling swap to {stem_v2} under load ...")
+        box = {}
+        loader = threading.Thread(
+            target=lambda: box.update(report=run_load(
+                http_predict_fn(server.url), xs[:40],
+                n_requests=n_requests, n_clients=8)),
+            daemon=True)
+        loader.start()
+        request = urllib.request.Request(
+            server.url + "/admin/swap",
+            data=json.dumps({"source": stem_v2}).encode(),
+            headers={"Content-Type": "application/json"}, method="POST")
+        with urllib.request.urlopen(request, timeout=120) as response:
+            swap = json.loads(response.read())
+        loader.join(timeout=300)
+        assert not loader.is_alive(), "load run hung during rolling swap"
+        swap_load = box["report"]
+        print(f"  swapped workers {swap['swapped']}, failed "
+              f"{swap['failed']}; load during swap: "
+              f"{swap_load.requests} requests, errors {swap_load.errors}, "
+              f"rejected {swap_load.rejected}")
+        assert swap["failed"] == [], f"swap failed on {swap['failed']}"
+        # Zero refused-by-absence: only admission 503s are acceptable.
+        assert swap_load.errors == 0, \
+            f"{swap_load.errors} hard error(s) during rolling swap"
+        answer = service.predict(xs[0], use_cache=False)
+        print(f"  now serving {answer['model']} {answer['version']} "
+              f"(worker pid {answer['worker']['pid']})")
+        assert answer["version"] == "v2", "version did not bump"
+
+        metrics = service.metrics()
+        print(f"\naggregated /metrics: p50 "
+              f"{metrics['latency_ms']['p50']:.1f} ms, p99 "
+              f"{metrics['latency_ms']['p99']:.1f} ms, rejected_503 "
+              f"{metrics['rejected_503']}, restarts "
+              f"{metrics['supervisor']['restarts']}")
+    finally:
+        server.stop()
+        # -- 6: graceful drain ------------------------------------------
+        drained = service.shutdown(timeout=30.0)
+        print(f"\ndrain: every worker confirmed = {drained}")
+
+    assert drained, "at least one worker failed to drain"
+    print("clean shutdown — all good")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(tiny="--tiny" in sys.argv))

@@ -28,6 +28,13 @@ Subcommands::
         Micro-batching JSON inference endpoint over a checkpoint stem, a
         directory of checkpoints, or a run id (serves every checkpoint of
         that run).  Routes: POST /predict, GET /healthz, GET /metrics.
+        SIGTERM/SIGINT drain the micro-batchers before exiting.
+    cluster <checkpoint> --workers N [--port P] [--max-inflight M]
+        Supervised multi-process serving tier: a front-end router over N
+        self-loading model-worker processes, with heartbeat supervision,
+        exponential-backoff restarts, bounded-queue admission control
+        (503 + Retry-After), quorum /healthz, aggregated /metrics, and
+        POST /admin/swap for rolling hot-swap.
 
 All table output renders through :mod:`repro.analysis.reporting`, the same
 dependency-free formatter the benchmarks use.
@@ -58,6 +65,7 @@ EPILOG = """examples:
   python -m repro sweep show <sweep_id>
   python -m repro serve <run_id>                 # serve a run's checkpoints
   python -m repro serve ckpt/model --port 8100   # serve one checkpoint stem
+  python -m repro cluster ckpt/model --workers 4 # supervised worker pool
 """
 
 
@@ -170,6 +178,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="batch-execution worker threads (default 1)")
     serve.add_argument("--out", default="runs",
                        help="run-store root used to resolve run ids")
+
+    cluster = sub.add_parser(
+        "cluster", help="supervised multi-process serving tier (front-end "
+                        "router + N model-worker processes)")
+    cluster.add_argument("checkpoint",
+                         help="checkpoint stem, directory of checkpoints, "
+                              "or run id — every worker self-loads it")
+    cluster.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="model-worker processes (default 2)")
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument("--port", type=int, default=8100,
+                         help="front-end listen port (0 = ephemeral; "
+                              "default 8100)")
+    cluster.add_argument("--max-batch", type=int, default=16, metavar="N",
+                         help="per-worker micro-batch flush size "
+                              "(default 16)")
+    cluster.add_argument("--max-wait-ms", type=float, default=5.0,
+                         metavar="F",
+                         help="per-worker micro-batch deadline (default "
+                              "5 ms)")
+    cluster.add_argument("--cache-size", type=int, default=1024, metavar="N",
+                         help="per-worker LRU prediction-cache capacity")
+    cluster.add_argument("--max-inflight", type=int, default=32, metavar="M",
+                         help="admission control: in-flight requests one "
+                              "worker may hold before the front end "
+                              "answers 503 (default 32)")
+    cluster.add_argument("--quorum", type=int, default=None, metavar="Q",
+                         help="live workers needed for /healthz to report "
+                              "ok (default: majority)")
+    cluster.add_argument("--heartbeat-timeout-s", type=float, default=5.0,
+                         metavar="T",
+                         help="heartbeat silence that marks a worker "
+                              "wedged (default 5 s)")
+    cluster.add_argument("--backoff-base-s", type=float, default=0.5,
+                         metavar="B",
+                         help="restart backoff base; doubles per "
+                              "consecutive failure (default 0.5 s)")
+    cluster.add_argument("--out", default="runs",
+                         help="run-store root used to resolve run ids")
     return parser
 
 
@@ -188,6 +235,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "cluster":
+            return _cmd_cluster(args)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -550,17 +599,88 @@ def _cmd_serve(args) -> int:
     print(f"  curl -X POST {server.url}/predict "
           "-d '{\"input\": [...], \"model\": \"<name>\"}'")
     print(f"  curl {server.url}/healthz\n  curl {server.url}/metrics")
-    print("Ctrl-C to stop")
+    print("Ctrl-C (or SIGTERM) drains and stops")
+    drained = False
+    signum = None
     try:
-        server.serve_until_interrupt()
+        signum = server.serve_until_signal()
     finally:
+        # Drain before exiting: in-flight micro-batches finish, and the
+        # operator learns whether the drain completed (exit 0) or timed
+        # out with requests still queued (exit 1).
         drained = service.shutdown(timeout=30.0)
         snap = service.metrics()
-        print(f"\nserved {snap['requests']} request(s), "
+        print(f"\nreceived {_signal_name(signum)}: drained={drained}")
+        print(f"served {snap['requests']} request(s), "
               f"cache hit rate {snap['cache']['hit_rate']:.2f}")
         if not drained:
             print("warning: shutdown timed out with requests still in "
                   "flight", file=sys.stderr)
+    return 1 if not drained else 0
+
+
+def _signal_name(signum) -> str:
+    import signal as _signal
+    try:
+        return _signal.Signals(signum).name
+    except (ValueError, TypeError):
+        return str(signum)
+
+
+# ---------------------------------------------------------------------------
+# cluster
+# ---------------------------------------------------------------------------
+
+def _cmd_cluster(args) -> int:
+    from .cluster import ClusterError, ClusterService, Supervisor, WorkerSpec
+    from .serve import InferenceHTTPServer
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    spec = WorkerSpec(
+        source=args.checkpoint, store_root=args.out,
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        cache_size=args.cache_size)
+    supervisor = Supervisor(
+        spec, n_workers=args.workers, quorum=args.quorum,
+        heartbeat_timeout_s=args.heartbeat_timeout_s,
+        backoff_base_s=args.backoff_base_s)
+    print(f"starting {args.workers} worker(s) on {args.checkpoint} ...")
+    try:
+        supervisor.start(wait=True)
+    except ClusterError as exc:
+        # Workers self-load; a bad checkpoint surfaces here as the first
+        # worker's fatal error rather than as a parent-side double load.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service = ClusterService(supervisor,
+                             max_inflight_per_worker=args.max_inflight)
+    server = InferenceHTTPServer(service, host=args.host, port=args.port)
+    print(format_table(
+        ["slot", "pid", "state"],
+        [[w["slot"], w["pid"], w["state"]] for w in supervisor.describe()],
+        title=f"cluster of {args.workers} worker(s) at {server.url} "
+              f"(quorum {supervisor.quorum})"))
+    print(f"\n  curl -X POST {server.url}/predict -d '{{\"input\": [...]}}'")
+    print(f"  curl {server.url}/healthz\n  curl {server.url}/metrics")
+    print(f"  curl -X POST {server.url}/admin/swap "
+          "-d '{\"source\": \"<checkpoint>\"}'   # rolling hot-swap")
+    print("Ctrl-C (or SIGTERM) drains every worker and stops")
+    drained = False
+    signum = None
+    try:
+        signum = server.serve_until_signal()
+    finally:
+        health = service.healthz()
+        metrics_snapshot = service.telemetry.snapshot()
+        drained = service.shutdown(timeout=30.0)
+        print(f"\nreceived {_signal_name(signum)}: drained={drained}")
+        print(f"served {metrics_snapshot['requests']} request(s), "
+              f"{health['restarts']} worker restart(s)")
+        if not drained:
+            print("warning: drain timed out with requests still in flight",
+                  file=sys.stderr)
     return 1 if not drained else 0
 
 

@@ -1,0 +1,65 @@
+"""Wire protocol between the cluster front end and its worker processes.
+
+Everything crossing a worker pipe is a plain picklable tuple
+``(kind, msg_id, payload)``:
+
+parent -> worker
+    ``("predict", id, body)`` / ``("predict_many", id, body)`` — one
+    data-plane request (``body`` mirrors the HTTP request dict);
+    ``("metrics", id, {})`` — the worker's full ``/metrics`` payload;
+    ``("swap", id, {"source": ...})`` — load a new checkpoint and hot-swap
+    the served version;
+    ``("drain", id, {})`` — drain the micro-batchers, answer with the
+    drained bool, and exit.
+
+worker -> parent
+    ``("ready", 0, stats)`` — sent once after the checkpoint loaded;
+    ``("hb", 0, stats)`` — periodic heartbeat with light load stats;
+    ``("fatal", 0, {"error": ...})`` — startup/teardown failure, sent just
+    before exiting so the supervisor can surface the cause;
+    ``("resp", id, {"ok": True, "value": ...})`` or
+    ``("resp", id, {"ok": False, "status": ..., "error": ...})`` — the
+    answer to any parent request, matched by ``msg_id``.
+
+The :class:`WorkerSpec` is the complete, picklable recipe for one worker:
+workers never receive live model objects — they *self-load* their models
+from the checkpoint source, so a restarted worker is bitwise-equivalent to
+its predecessor and the spawn start method needs nothing from the parent's
+memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: worker -> parent message kinds that are not responses.
+READY, HEARTBEAT, FATAL, RESPONSE = "ready", "hb", "fatal", "resp"
+
+#: parent -> worker request kinds.
+PREDICT, PREDICT_MANY, METRICS, SWAP, DRAIN = (
+    "predict", "predict_many", "metrics", "swap", "drain")
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker process needs to serve: picklable and complete.
+
+    ``source`` is anything ``ModelRegistry.load_source`` accepts — a
+    checkpoint stem, a directory of checkpoints, or a run id resolved
+    against ``store_root``.  The serving knobs mirror
+    :class:`~repro.serve.service.InferenceService`; ``handler_threads``
+    bounds how many requests one worker decodes/answers concurrently
+    (they still coalesce in the worker's micro-batcher).
+    """
+
+    source: str
+    store_root: str = "runs"
+    max_batch: int = 16
+    max_wait_ms: float = 5.0
+    cache_size: int = 1024
+    batch_workers: int = 1
+    handler_threads: int = 16
+    heartbeat_s: float = 0.5
+
+    def replace(self, **overrides) -> "WorkerSpec":
+        return dataclasses.replace(self, **overrides)

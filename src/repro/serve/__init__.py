@@ -22,6 +22,7 @@ request/response interface built from five pieces:
 
 from .batcher import ItemResult, MicroBatcher
 from .cache import PredictionCache, input_digest
+from .errors import Overloaded, WorkerDied
 from .http import InferenceHTTPServer
 from .loadgen import LoadReport, http_predict_fn, run_load, service_predict_fn
 from .registry import ModelEntry, ModelRegistry, model_from_checkpoint
@@ -30,8 +31,8 @@ from .telemetry import Telemetry, estimate_request_energy_mj
 
 __all__ = [
     "InferenceHTTPServer", "InferenceService", "ItemResult", "LoadReport",
-    "MicroBatcher", "ModelEntry", "ModelRegistry", "PredictionCache",
-    "Telemetry", "estimate_request_energy_mj", "http_predict_fn",
-    "input_digest", "model_from_checkpoint", "run_load",
-    "service_predict_fn",
+    "MicroBatcher", "ModelEntry", "ModelRegistry", "Overloaded",
+    "PredictionCache", "Telemetry", "WorkerDied",
+    "estimate_request_energy_mj", "http_predict_fn", "input_digest",
+    "model_from_checkpoint", "run_load", "service_predict_fn",
 ]

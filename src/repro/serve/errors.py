@@ -1,0 +1,33 @@
+"""Serving-layer error types shared by the HTTP front and the cluster tier.
+
+Kept in their own module so the cluster front end (``repro.cluster``) can
+raise them without importing the whole in-process service stack, and so the
+HTTP handler can map them to status codes without caring which tier raised
+them.
+"""
+
+from __future__ import annotations
+
+
+class Overloaded(RuntimeError):
+    """The serving tier refused a request under admission control.
+
+    The HTTP layer maps this to ``503 Service Unavailable`` with a
+    ``Retry-After`` header of ``retry_after_s`` (rounded up to whole
+    seconds, minimum 1 — the header's unit).  Raised by the cluster front
+    end when every live worker is at its in-flight bound, or when no live
+    worker exists at all (e.g. mid-restart with quorum lost).
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class WorkerDied(RuntimeError):
+    """A cluster worker process exited with requests still in flight.
+
+    Every pending future on the dead worker's pipe resolves to this; the
+    front end surfaces it as a ``500`` (the request was accepted and then
+    genuinely lost — admission control cannot retroactively refuse it).
+    """

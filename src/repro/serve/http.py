@@ -16,6 +16,16 @@ calls —
 ``GET /metrics``
     The full telemetry payload: latency percentiles, batch-size histogram,
     cache hit rate, per-request energy, model listing.
+``POST /admin/...``
+    Control-plane routes, available only when the injected service exposes
+    ``handle_admin(path, request)`` (the cluster front end does, for
+    rolling hot-swap); plain services keep a pure data-plane surface.
+
+The handler is duck-typed over the injected service: anything with
+``predict`` / ``predict_many`` / ``healthz`` / ``metrics`` works, which is
+how ``repro.cluster`` reuses this file unchanged for its front-end router.
+A service may raise :class:`~repro.serve.errors.Overloaded` to refuse a
+request under admission control; it maps to ``503`` + ``Retry-After``.
 
 Each HTTP connection is handled on its own thread, so concurrent clients
 land in the micro-batcher together — the HTTP layer adds no serialization
@@ -32,17 +42,20 @@ unparseable-length requests, where draining is the wrong tool).
 from __future__ import annotations
 
 import json
+import math
+import signal
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-from .service import InferenceService
+from .errors import Overloaded
 
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
 class _Handler(BaseHTTPRequestHandler):
-    service: InferenceService  # injected by the server factory
+    service = None  # injected by the server factory (InferenceService-like)
     protocol_version = "HTTP/1.1"
 
     # -- plumbing --------------------------------------------------------
@@ -50,21 +63,31 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, fmt, *args):  # quiet by default
         pass
 
-    def _send_json(self, payload, status: int = 200,
-                   close: bool = False) -> None:
+    def _send_json(self, payload, status: int = 200, close: bool = False,
+                   extra_headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         if close:
             self.send_header("Connection", "close")
             self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str,
-                         close: bool = False) -> None:
-        self._send_json({"error": message}, status=status, close=close)
+    def _send_error_json(self, status: int, message: str, close: bool = False,
+                         extra_headers: Optional[Dict[str, str]] = None,
+                         ) -> None:
+        self._send_json({"error": message}, status=status, close=close,
+                        extra_headers=extra_headers)
+
+    def _send_overloaded(self, exc: Overloaded) -> None:
+        """503 + Retry-After: admission control refused the request."""
+        retry_after = max(1, math.ceil(exc.retry_after_s))
+        self._send_error_json(503, str(exc),
+                              extra_headers={"Retry-After": str(retry_after)})
 
     def _drain_body(self, remaining: int) -> None:
         """Discard unread request body so keep-alive framing stays aligned."""
@@ -107,7 +130,9 @@ class _Handler(BaseHTTPRequestHandler):
             # the very bytes it refuses — so resync by closing instead.
             self._send_error_json(413, "request body too large", close=True)
             return
-        if self.path != "/predict":
+        admin = getattr(self.service, "handle_admin", None)
+        is_admin = self.path.startswith("/admin/") and admin is not None
+        if self.path != "/predict" and not is_admin:
             self._drain_body(length)
             self._send_error_json(404, f"no route {self.path}")
             return
@@ -122,6 +147,20 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(
                 400, f"body must be a JSON object, got "
                      f"{type(request).__name__}")
+            return
+        if is_admin:
+            # Control-plane routes (e.g. the cluster's rolling hot-swap),
+            # exposed only when the service opts in via handle_admin.
+            try:
+                payload = admin(self.path, request)
+            except KeyError as exc:
+                self._send_error_json(404, str(exc.args[0]))
+            except ValueError as exc:
+                self._send_error_json(400, str(exc))
+            except Exception as exc:
+                self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+            else:
+                self._send_json(payload)
             return
         model = request.get("model")
         version = request.get("version")
@@ -147,6 +186,9 @@ class _Handler(BaseHTTPRequestHandler):
                     400, 'body needs "input" (one sample) or "inputs" '
                          '(a list of samples)')
                 return
+        except Overloaded as exc:  # admission control refused
+            self._send_overloaded(exc)
+            return
         except KeyError as exc:  # unknown model/version
             self._send_error_json(404, str(exc.args[0]))
             return
@@ -156,18 +198,52 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(payload)
 
 
+class _Server(ThreadingHTTPServer):
+    """ThreadingHTTPServer with explicit rebind semantics.
+
+    ``SO_REUSEADDR`` is always set (``allow_reuse_address``), so a restart
+    never trips over the previous instance's TIME_WAIT socket.
+    ``SO_REUSEPORT`` is opt-in: several processes may then bind the same
+    port and let the kernel spread accepted connections across them — the
+    multi-process alternative to a userspace router, and what a
+    ``repro.cluster`` front end can hide behind on platforms that have it.
+    """
+
+    allow_reuse_address = True
+    reuse_port = False  # overridden per-instance before bind via subclassing
+    # socketserver's default listen backlog is 5; clients that open a
+    # connection per request (urllib, curl) overflow it under modest
+    # concurrency, and every dropped SYN costs a full 1 s retransmit —
+    # which shows up as a mysterious ~1000 ms p99 and occasional resets.
+    request_queue_size = 128
+
+    def server_bind(self):
+        if self.reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise OSError("SO_REUSEPORT is not supported on this "
+                              "platform")
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
+
+
 class InferenceHTTPServer:
     """Owns the listening socket and its serve thread.
 
-    ``port=0`` binds an ephemeral port (the real one is in ``.port`` after
-    construction), which is what the tests and the load harness use.
+    ``port=0`` binds an ephemeral port — the actually bound one is in
+    ``.port`` (and ``.url``) as soon as the constructor returns, which is
+    what the tests, the cluster front end, and the load harness use so they
+    never race on fixed port numbers.  ``reuse_port=True`` additionally
+    sets ``SO_REUSEPORT`` before binding (Linux/BSD; raises ``OSError``
+    where unsupported).
     """
 
-    def __init__(self, service: InferenceService, host: str = "127.0.0.1",
-                 port: int = 8100):
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 8100,
+                 reuse_port: bool = False):
         handler = type("BoundHandler", (_Handler,), {"service": service})
+        server_cls = type("BoundServer", (_Server,),
+                          {"reuse_port": bool(reuse_port)})
         self.service = service
-        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd = server_cls((host, port), handler)
         self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
 
@@ -198,11 +274,45 @@ class InferenceHTTPServer:
             self._thread.join()
             self._thread = None
 
-    def serve_until_interrupt(self) -> None:
-        """Foreground mode for the CLI: Ctrl-C stops cleanly."""
+    def serve_until_signal(self, signals: Tuple[int, ...] = (
+            signal.SIGINT, signal.SIGTERM)) -> Optional[int]:
+        """Foreground mode for the CLI: block until one of ``signals``.
+
+        Installs handlers for the given signals (previous handlers are
+        restored on exit), serves until one arrives, then stops accepting
+        connections and returns the signal number received — so the caller
+        can drain the service and report the drained bool instead of dying
+        mid-batch on SIGTERM the way the default handler would.
+
+        Must be called from the main thread (CPython delivers signals
+        there).  The HTTP server itself runs on a background thread; the
+        main thread only waits, so handlers fire promptly.
+        """
+        stop = threading.Event()
+        received: Dict[str, int] = {}
+
+        def on_signal(signum, frame):
+            del frame
+            received.setdefault("signum", signum)
+            stop.set()
+
+        previous = {s: signal.signal(s, on_signal) for s in signals}
+        if self._thread is None:
+            self.start()
         try:
-            self._httpd.serve_forever()
-        except KeyboardInterrupt:
-            pass
+            # wait() without a timeout blocks in C and can starve signal
+            # delivery on some platforms; a coarse polling loop keeps the
+            # main thread interruptible everywhere.
+            while not stop.is_set():
+                stop.wait(0.2)
+        except KeyboardInterrupt:  # SIGINT not in `signals`
+            received.setdefault("signum", int(signal.SIGINT))
         finally:
-            self._httpd.server_close()
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+            self.stop()
+        return received.get("signum")
+
+    def serve_until_interrupt(self) -> None:
+        """Backward-compatible foreground mode: Ctrl-C/SIGTERM stop cleanly."""
+        self.serve_until_signal()

@@ -21,17 +21,25 @@ import dataclasses
 import json
 import threading
 import time
+import urllib.error
 import urllib.request
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .errors import Overloaded
 from .telemetry import percentile
 
 
 @dataclasses.dataclass
 class LoadReport:
-    """Aggregated result of one closed-loop load run."""
+    """Aggregated result of one closed-loop load run.
+
+    ``rejected`` counts admission-control refusals (``Overloaded`` /
+    HTTP 503) separately from ``errors``: an overloaded tier shedding load
+    is behaving correctly, a tier answering 500s is not — a benchmark or
+    smoke test must be able to tell them apart.
+    """
 
     requests: int
     errors: int
@@ -40,6 +48,7 @@ class LoadReport:
     latency_ms: Dict[str, float]
     cache_hits: int
     n_clients: int
+    rejected: int = 0
 
     def row(self) -> dict:
         return {
@@ -49,6 +58,7 @@ class LoadReport:
             "p50 (ms)": round(self.latency_ms["p50"], 2),
             "p99 (ms)": round(self.latency_ms["p99"], 2),
             "errors": self.errors,
+            "rejected": self.rejected,
         }
 
 
@@ -63,7 +73,13 @@ def service_predict_fn(service, model: Optional[str] = None,
 def http_predict_fn(url: str, model: Optional[str] = None,
                     version: Optional[str] = None,
                     timeout: float = 30.0) -> Callable:
-    """HTTP target: POSTs each sample to ``<url>/predict``."""
+    """HTTP target: POSTs each sample to ``<url>/predict``.
+
+    A ``503`` answer is re-raised as :class:`Overloaded` (honoring the
+    server's ``Retry-After``), so :func:`run_load` counts it as a
+    *rejected* request rather than a hard error — the same taxonomy the
+    in-process target gets for free.
+    """
     def fn(x):
         body: dict = {"input": np.asarray(x, dtype=float).tolist()}
         if model is not None:
@@ -73,8 +89,19 @@ def http_predict_fn(url: str, model: Optional[str] = None,
         request = urllib.request.Request(
             url.rstrip("/") + "/predict", data=json.dumps(body).encode(),
             headers={"Content-Type": "application/json"}, method="POST")
-        with urllib.request.urlopen(request, timeout=timeout) as resp:
-            return json.loads(resp.read())
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            if exc.code == 503:
+                try:
+                    retry_after = float(exc.headers.get("Retry-After", 1))
+                except (TypeError, ValueError):
+                    retry_after = 1.0
+                exc.read()
+                raise Overloaded("server overloaded",
+                                 retry_after_s=retry_after) from None
+            raise
     return fn
 
 
@@ -96,6 +123,7 @@ def run_load(predict_fn: Callable, samples: Sequence,
 
     latencies: List[List[float]] = [[] for _ in range(n_clients)]
     errors = [0] * n_clients
+    rejected = [0] * n_clients
     cache_hits = [0] * n_clients
     barrier = threading.Barrier(n_clients + 1)
 
@@ -106,6 +134,9 @@ def run_load(predict_fn: Callable, samples: Sequence,
             t0 = time.perf_counter()
             try:
                 response = predict_fn(x)
+            except Overloaded:
+                rejected[idx] += 1
+                continue
             except Exception:
                 errors[idx] += 1
                 continue
@@ -125,10 +156,12 @@ def run_load(predict_fn: Callable, samples: Sequence,
 
     flat = sorted(ms for client_ms in latencies for ms in client_ms)
     total_errors = sum(errors)
+    total_rejected = sum(rejected)
     done = len(flat)
     return LoadReport(
-        requests=done + total_errors,
+        requests=done + total_errors + total_rejected,
         errors=total_errors,
+        rejected=total_rejected,
         duration_s=duration,
         throughput_rps=done / duration if duration > 0 else 0.0,
         latency_ms={

@@ -247,6 +247,11 @@ class ModelRegistry:
                     raise KeyError(f"model {name!r} has no active version")
             return self._entry(name, version)
 
+    def active_versions(self) -> Dict[str, str]:
+        """``{name: active version}`` for every name that has one."""
+        with self._lock:
+            return dict(self._active)
+
     def models(self) -> List[dict]:
         """JSON-ready listing of every registered (name, version)."""
         with self._lock:

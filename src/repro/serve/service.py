@@ -23,6 +23,7 @@ bounded by the number of registered versions.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Dict, Optional, Sequence, Tuple
@@ -179,6 +180,12 @@ class InferenceService:
 
     # -- introspection ---------------------------------------------------
 
+    def pending(self) -> int:
+        """Requests queued in batchers but not yet dispatched."""
+        with self._lock:
+            batchers = list(self._batchers.values())
+        return sum(b.pending() for b in batchers)
+
     def healthz(self) -> dict:
         snap = self.telemetry.snapshot()
         return {
@@ -186,13 +193,24 @@ class InferenceService:
             "models": len(self.registry),
             "requests": snap["requests"],
             "uptime_s": round(snap["uptime_s"], 3),
+            "pid": os.getpid(),
         }
 
     def metrics(self) -> dict:
-        """The ``/metrics`` payload: telemetry + cache + model listing."""
+        """The ``/metrics`` payload: telemetry + cache + model listing.
+
+        Besides the aggregate telemetry, the payload identifies *which*
+        process and *which* model versions produced it (``pid``,
+        ``uptime_s``, ``active_versions``) — in a cluster, the aggregated
+        view needs to attribute load to individual workers, and a bare
+        latency histogram cannot.
+        """
         payload = self.telemetry.snapshot()
+        payload["pid"] = os.getpid()
         payload["cache"] = self.cache.stats()
         payload["models"] = self.registry.models()
+        payload["active_versions"] = self.registry.active_versions()
+        payload["pending"] = self.pending()
         # Snapshot under the lock: _batcher() inserts and shutdown()'s
         # clear() mutate the dict concurrently with /metrics scrapes.
         with self._lock:

@@ -8,6 +8,9 @@ and graceful service shutdown with requests still in flight.
 
 import http.client
 import json
+import os
+import signal
+import socket
 import threading
 import time
 import urllib.request
@@ -23,7 +26,7 @@ from repro.data.synth import make_blobs
 from repro.onchip import LoihiEMSTDPTrainer, build_emstdp_network
 from repro.persist import CheckpointError, save_checkpoint
 from repro.serve import (InferenceHTTPServer, InferenceService, MicroBatcher,
-                         ModelRegistry, PredictionCache,
+                         ModelRegistry, Overloaded, PredictionCache,
                          estimate_request_energy_mj, http_predict_fn,
                          run_load, service_predict_fn)
 
@@ -680,6 +683,7 @@ def test_cli_help_epilog_mentions_serve(capsys):
     assert exc.value.code == 0
     out = capsys.readouterr().out
     assert "python -m repro serve" in out
+    assert "python -m repro cluster" in out
 
 
 def test_cli_list_renders_most_recent_first(tmp_path, capsys):
@@ -702,3 +706,105 @@ def test_cli_serve_errors_on_missing_checkpoint(tmp_path, capsys):
     assert cli.main(["serve", str(tmp_path / "nope"),
                      "--out", str(tmp_path)]) == 2
     assert "neither" in capsys.readouterr().err
+
+
+def test_cli_cluster_errors_on_missing_checkpoint(tmp_path, capsys):
+    # The worker self-loads and reports the failure as a fatal message;
+    # the CLI surfaces it as a clean exit-2 error, not a traceback.
+    assert cli.main(["cluster", str(tmp_path / "nope"), "--workers", "1",
+                     "--out", str(tmp_path)]) == 2
+    assert "failed to start" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# HTTP satellites: socket options, signal-driven drain, 503 shedding,
+# process-identifying metrics
+# ---------------------------------------------------------------------------
+
+def test_http_server_port0_exposes_distinct_bound_ports(http_server):
+    assert http_server.port > 0  # the ephemeral port actually bound
+    assert str(http_server.port) in http_server.url
+    registry = ModelRegistry()
+    registry.register("net", _trained_net())
+    with InferenceService(registry, max_batch=4) as service:
+        second = InferenceHTTPServer(service, port=0)
+        try:
+            assert second.port > 0
+            assert second.port != http_server.port
+        finally:
+            second._httpd.server_close()
+
+
+def test_http_server_reuse_port_allows_shared_bind():
+    if not hasattr(socket, "SO_REUSEPORT"):
+        pytest.skip("platform has no SO_REUSEPORT")
+    registry = ModelRegistry()
+    registry.register("net", _trained_net())
+    with InferenceService(registry, max_batch=4) as service:
+        first = InferenceHTTPServer(service, port=0, reuse_port=True)
+        try:
+            # A second listener on the *same* port only binds when both
+            # sockets carry SO_REUSEPORT — which is the property claimed.
+            second = InferenceHTTPServer(service, port=first.port,
+                                         reuse_port=True)
+            assert second.port == first.port
+            second._httpd.server_close()
+        finally:
+            first._httpd.server_close()
+
+
+def test_healthz_and_metrics_identify_the_serving_process(http_server):
+    _, health = _get(http_server.url + "/healthz")
+    assert health["pid"] == os.getpid()
+    assert health["uptime_s"] >= 0.0
+    _, metrics = _get(http_server.url + "/metrics")
+    assert metrics["pid"] == os.getpid()
+    assert metrics["uptime_s"] >= 0.0
+    assert metrics["active_versions"] == {"net": "v1"}
+    assert metrics["pending"] >= 0
+
+
+def test_serve_until_signal_returns_signum_and_restores_handler():
+    registry = ModelRegistry()
+    registry.register("net", _trained_net())
+    service = InferenceService(registry, max_batch=4, max_wait_ms=2.0)
+    server = InferenceHTTPServer(service, port=0)
+    previous = signal.getsignal(signal.SIGTERM)
+    try:
+        threading.Timer(0.3, os.kill,
+                        args=(os.getpid(), signal.SIGTERM)).start()
+        signum = server.serve_until_signal()
+        assert signum == signal.SIGTERM
+        assert signal.getsignal(signal.SIGTERM) is previous
+        # The CLI's contract: after the signal the service drains cleanly.
+        assert service.shutdown(timeout=10.0) is True
+    finally:
+        service.shutdown()
+
+
+class _SheddingService:
+    """Every predict is refused: the admission-control worst case."""
+
+    def predict(self, *a, **k):
+        raise Overloaded("tier is full", retry_after_s=2.5)
+
+    predict_many = predict
+
+
+def test_http_maps_overloaded_to_503_and_loadgen_counts_rejected():
+    server = InferenceHTTPServer(_SheddingService(), port=0).start()
+    try:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server.url + "/predict", {"input": [0.0] * DIMS[0]})
+        assert excinfo.value.code == 503
+        assert excinfo.value.headers["Retry-After"] == "3"  # ceil(2.5)
+        excinfo.value.read()
+
+        xs, _ = _task()
+        report = run_load(http_predict_fn(server.url), xs[:4],
+                          n_requests=12, n_clients=3)
+        assert report.rejected == 12  # shed, not errored
+        assert report.errors == 0
+        assert report.requests == 12
+    finally:
+        server.stop()
