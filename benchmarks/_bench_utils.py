@@ -11,10 +11,13 @@ import from this module; ``benchmarks/conftest.py`` only declares fixtures.
 
 import json
 import os
+import socket
+import subprocess
 import time
 from pathlib import Path
 
 from repro import __version__
+from repro.core import kernels
 from repro.data import load_dataset, make_blobs  # noqa: F401  (re-exported)
 from repro.models import ConvFrontend, paper_topology
 
@@ -30,16 +33,44 @@ from repro.models import ConvFrontend, paper_topology
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
+def _git_sha() -> str:
+    """The checked-out commit, or ``"unknown"`` outside a git work tree."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, timeout=10)
+        sha = out.stdout.strip()
+        return sha if out.returncode == 0 and sha else "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def environment_stamp() -> dict:
+    """Machine attribution stamped into every ``BENCH_*.json``.
+
+    Numbers from different machines (or kernel backends) are not
+    comparable; without this stamp the bench trajectory cannot tell a
+    regression from a hardware change.
+    """
+    return {
+        "git_sha": _git_sha(),
+        "hostname": socket.gethostname(),
+        "cpu_count": os.cpu_count() or 1,
+        "kernel_backend": kernels.backend_name(),
+    }
+
+
 def write_bench_json(name: str, payload: dict) -> Path:
     """Persist one benchmark's results as machine-readable JSON.
 
     Writes ``BENCH_<name>[_<variant>].json`` into ``$BENCH_RESULTS_DIR``
-    (default: the repository root), stamped with the repro version and
-    wall-clock time, so CI can upload the files as artifacts and the
-    performance trajectory is trackable across commits instead of living
-    only in log scrollback.  A ``variant`` key in the payload becomes a
-    filename suffix so smoke and full runs of one benchmark never
-    overwrite each other.
+    (default: the repository root), stamped with the repro version,
+    wall-clock time, and the machine attribution of
+    :func:`environment_stamp`, so CI can upload the files as artifacts
+    and the performance trajectory is attributable across commits and
+    machines instead of living only in log scrollback.  A ``variant``
+    key in the payload becomes a filename suffix so smoke and full runs
+    of one benchmark never overwrite each other.
     """
     out_dir = Path(os.environ.get("BENCH_RESULTS_DIR", REPO_ROOT))
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -50,6 +81,7 @@ def write_bench_json(name: str, payload: dict) -> Path:
         "benchmark": name,
         "repro_version": __version__,
         "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        **environment_stamp(),
         **payload,
     }
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")

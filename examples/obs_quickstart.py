@@ -1,0 +1,133 @@
+"""Observability quickstart: trace a run, scrape live Prometheus metrics.
+
+End-to-end walk through ``repro.obs``:
+
+1. run a tiny ``offline_accuracy`` experiment (2 seeds fanned out over 2
+   worker processes) — the runner binds a ``trace.jsonl`` sink under the
+   run directory and every seed, epoch, and sampled kernel timing lands
+   in it, across process boundaries;
+2. re-read the trace with :func:`repro.obs.read_trace` and assert its
+   shape: a root ``run`` span, one ``seed`` span per seed parented to
+   it, and per-process ``kernel_stats`` records;
+3. render the span tree and the timing summary through the real CLI
+   (``python -m repro trace show|summary <run_id>``);
+4. start a live :class:`InferenceService` behind the stdlib HTTP server,
+   send real requests, scrape ``GET /metrics?format=prometheus``, and
+   lint the exposition with :func:`repro.obs.prom.lint` (the invariants a
+   real Prometheus scraper enforces).
+
+This doubles as the CI ``obs-smoke`` script: it exits non-zero if the
+trace is missing or malformed, the CLI rendering fails, or the
+Prometheus exposition does not lint clean.
+
+Run:  PYTHONPATH=src python examples/obs_quickstart.py
+"""
+
+import json
+import sys
+import urllib.request
+
+from repro import cli, obs
+from repro.core import EMSTDPNetwork, full_precision_config
+from repro.data import make_blobs
+from repro.experiments import Runner, get_scenario
+from repro.obs import prom
+from repro.obs.trace import read_trace
+from repro.serve import InferenceHTTPServer, InferenceService, ModelRegistry
+
+OUT_ROOT = "runs"
+
+
+def traced_run() -> str:
+    """Run the tiny experiment with process fan-out; return its run id."""
+    spec = get_scenario("offline_accuracy").build_spec(tiny=True)
+    spec = spec.replace(seeds=(0, 1))
+    print(f"running {spec.name} (tiny, seeds {spec.seeds}, 2 workers)...")
+    result = Runner(out_root=OUT_ROOT, max_workers=2).run(spec)
+    assert result.status == "complete", f"run ended {result.status}"
+    return result.run_id
+
+
+def check_trace(run_id: str) -> None:
+    path = cli._resolve_trace_path(run_id, OUT_ROOT)
+    records = read_trace(path)
+    assert records, f"no parsable records in {path}"
+    for record in records:  # every line is valid standalone JSON
+        json.dumps(record)
+
+    spans = [r for r in records if r.get("kind") == "span"]
+    by_name = {}
+    for span in spans:
+        by_name.setdefault(span["name"], []).append(span)
+    assert "run" in by_name, f"no root run span (saw {sorted(by_name)})"
+    root = by_name["run"][0]
+    seeds = by_name.get("seed", [])
+    assert len(seeds) == 2, f"expected 2 seed spans, saw {len(seeds)}"
+    for seed in seeds:
+        assert seed["parent_id"] == root["span_id"], \
+            "seed span not parented to the run span (cross-process link)"
+    kstats = [r for r in records if r.get("kind") == "kernel_stats"]
+    assert kstats, "no kernel_stats records (sampled profiling missing)"
+    pids = {r["pid"] for r in seeds}
+    assert len(pids) == 2, \
+        f"seeds should come from 2 worker processes, saw pids {pids}"
+    print(f"trace.jsonl: {len(records)} records, {len(spans)} spans, "
+          f"{len(kstats)} kernel_stats, {len(pids)} worker pids — OK")
+
+
+def render_cli(run_id: str) -> None:
+    print(f"\n$ python -m repro trace show {run_id}")
+    assert cli.main(["trace", "show", run_id, "--out", OUT_ROOT]) == 0
+    print(f"\n$ python -m repro trace summary {run_id}")
+    assert cli.main(["trace", "summary", run_id, "--out", OUT_ROOT]) == 0
+
+
+def scrape_live_service() -> None:
+    dims = (16, 24, 4)
+    net = EMSTDPNetwork(dims, full_precision_config(seed=1, phase_length=16))
+    registry = ModelRegistry()
+    registry.register("blobs-net", net)
+    service = InferenceService(registry, max_batch=8, max_wait_ms=5.0,
+                               cache_size=64)
+    server = InferenceHTTPServer(service, port=0).start()
+    print(f"\nserving at {server.url} — sending requests, then scraping "
+          f"/metrics in Prometheus format")
+    try:
+        xs, _ = make_blobs(dims[0], dims[-1], 16, seed=0)
+        for x in xs:
+            body = json.dumps({"input": x.tolist()}).encode()
+            urllib.request.urlopen(urllib.request.Request(
+                f"{server.url}/predict", data=body,
+                headers={"Content-Type": "application/json"}), timeout=10)
+        with urllib.request.urlopen(
+                f"{server.url}/metrics?format=prometheus", timeout=10) as rsp:
+            ctype = rsp.headers.get("Content-Type", "")
+            text = rsp.read().decode()
+    finally:
+        server.stop()
+        service.shutdown()
+
+    assert ctype.startswith("text/plain"), f"wrong content type: {ctype}"
+    problems = prom.lint(text)
+    assert not problems, "exposition does not lint clean:\n  " \
+        + "\n  ".join(problems)
+    for needle in ("# TYPE repro_requests_total counter",
+                   "repro_serve_requests_total",
+                   "repro_latency_ms_p99"):
+        assert needle in text, f"missing {needle!r} in exposition"
+    lines = [l for l in text.splitlines() if l and not l.startswith("#")]
+    print(f"/metrics: {len(lines)} samples, lint clean — OK")
+    print("\n".join(text.splitlines()[:6]))
+
+
+def main() -> int:
+    run_id = traced_run()
+    check_trace(run_id)
+    render_cli(run_id)
+    scrape_live_service()
+    print("\nall observability checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,10 @@ Subpackages
     Micro-batching inference service: model registry with hot-swap,
     prediction cache, HTTP endpoint, telemetry, and a load-test harness;
     drives ``python -m repro serve``.
+``repro.obs``
+    Zero-dependency observability: labeled metrics, durable JSONL span
+    traces next to run artifacts, sampled kernel profiling, and Prometheus
+    text exposition; drives ``python -m repro trace``.
 """
 
 try:  # installed package: single source of truth is the distribution metadata
@@ -46,9 +50,9 @@ except Exception:  # running from a source tree (PYTHONPATH=src)
     __version__ = "1.0.0"
 
 from . import (analysis, baselines, core, data, experiments, incremental,
-               loihi, models, onchip, persist, serve, sweeps)
+               loihi, models, obs, onchip, persist, serve, sweeps)
 from .seeding import as_rng
 
 __all__ = ["analysis", "baselines", "core", "data", "experiments",
-           "incremental", "loihi", "models", "onchip", "persist", "serve",
-           "sweeps", "as_rng", "__version__"]
+           "incremental", "loihi", "models", "obs", "onchip", "persist",
+           "serve", "sweeps", "as_rng", "__version__"]

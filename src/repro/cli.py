@@ -35,6 +35,11 @@ Subcommands::
         exponential-backoff restarts, bounded-queue admission control
         (503 + Retry-After), quorum /healthz, aggregated /metrics, and
         POST /admin/swap for rolling hot-swap.
+    trace summary <run_id|sweep_id|path>
+        Aggregate a run's trace.jsonl: per-span-name totals, merged
+        per-kernel timing across worker processes, top-N slowest spans.
+    trace show <run_id|sweep_id|path>
+        The full span tree of a trace, with events, durations and pids.
 
 All table output renders through :mod:`repro.analysis.reporting`, the same
 dependency-free formatter the benchmarks use.
@@ -66,6 +71,8 @@ EPILOG = """examples:
   python -m repro serve <run_id>                 # serve a run's checkpoints
   python -m repro serve ckpt/model --port 8100   # serve one checkpoint stem
   python -m repro cluster ckpt/model --workers 4 # supervised worker pool
+  python -m repro trace summary <run_id>         # span + kernel timing
+  python -m repro trace show <run_id>            # full span tree
 """
 
 
@@ -217,6 +224,23 @@ def build_parser() -> argparse.ArgumentParser:
                               "consecutive failure (default 0.5 s)")
     cluster.add_argument("--out", default="runs",
                          help="run-store root used to resolve run ids")
+
+    trace = sub.add_parser(
+        "trace", help="inspect a run's trace.jsonl (spans, kernels)")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    tsum = trace_sub.add_parser(
+        "summary", help="per-span aggregates + merged kernel timing + "
+                        "top-N slowest spans")
+    tsum.add_argument("target",
+                      help="run id, sweep id, run directory, or trace file")
+    tsum.add_argument("--top", type=int, default=10, metavar="N",
+                      help="slowest individual spans to list (default 10)")
+    tsum.add_argument("--out", default="runs")
+    tshow = trace_sub.add_parser(
+        "show", help="render the full span tree with events")
+    tshow.add_argument("target",
+                       help="run id, sweep id, run directory, or trace file")
+    tshow.add_argument("--out", default="runs")
     return parser
 
 
@@ -237,6 +261,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "cluster":
             return _cmd_cluster(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -672,16 +698,152 @@ def _cmd_cluster(args) -> int:
     try:
         signum = server.serve_until_signal()
     finally:
-        health = service.healthz()
-        metrics_snapshot = service.telemetry.snapshot()
         drained = service.shutdown(timeout=30.0)
         print(f"\nreceived {_signal_name(signum)}: drained={drained}")
-        print(f"served {metrics_snapshot['requests']} request(s), "
-              f"{health['restarts']} worker restart(s)")
+        # Final metrics snapshot: front-end state only (the workers are
+        # draining or gone), printed instead of discarded so the last
+        # scrape's story survives the processes.
+        final = service.final_snapshot()
+        print(format_table(
+            ["metric", "value"],
+            [[k, v] for k, v in final.items()],
+            title="final cluster snapshot"))
         if not drained:
             print("warning: drain timed out with requests still in flight",
                   file=sys.stderr)
     return 1 if not drained else 0
+
+
+# ---------------------------------------------------------------------------
+# trace
+# ---------------------------------------------------------------------------
+
+def _cmd_trace(args) -> int:
+    if args.trace_command == "summary":
+        return _cmd_trace_summary(args)
+    if args.trace_command == "show":
+        return _cmd_trace_show(args)
+    raise AssertionError(f"unhandled trace command {args.trace_command!r}")
+
+
+def _resolve_trace_path(target: str, out: str):
+    """A trace file from a path, run directory, run id, or sweep id."""
+    from pathlib import Path
+
+    from .obs import TRACE_FILE_NAME
+
+    path = Path(target)
+    if path.is_file():
+        return path
+    if path.is_dir():
+        return path / TRACE_FILE_NAME
+    try:
+        return RunStore(out).find(target).path / TRACE_FILE_NAME
+    except KeyError:
+        pass
+    from .sweeps import SweepStore
+    try:
+        return SweepStore(out).find(target).path / TRACE_FILE_NAME
+    except KeyError:
+        pass
+    raise KeyError(
+        f"{target!r} is not a trace file, a run directory, a run id, or "
+        f"a sweep id (store root: {out}/)")
+
+
+def _load_trace(args):
+    from . import obs
+
+    path = _resolve_trace_path(args.target, args.out)
+    records = obs.read_trace(path)
+    if not records:
+        print(f"error: no trace records in {path} "
+              "(was the run executed with REPRO_OBS_TRACE=0?)",
+              file=sys.stderr)
+        return path, None
+    return path, records
+
+
+def _span_label(span: dict) -> str:
+    attrs = span.get("attrs", {})
+    keys = ("experiment", "run_id", "seed", "backend", "epoch", "dataset",
+            "point_id", "status")
+    detail = " ".join(f"{k}={attrs[k]}" for k in keys if k in attrs)
+    return f"{span['name']}{' [' + detail + ']' if detail else ''}"
+
+
+def _cmd_trace_show(args) -> int:
+    from . import obs
+
+    path, records = _load_trace(args)
+    if records is None:
+        return 2
+    roots, children = obs.build_span_forest(records)
+    events_by_parent: dict = {}
+    for rec in records:
+        if rec.get("kind") == "event":
+            events_by_parent.setdefault(rec.get("parent_id"),
+                                        []).append(rec)
+    print(f"trace {path} · {len(records)} record(s)")
+
+    def render(span: dict, depth: int) -> None:
+        pad = "  " * depth
+        status = "" if span.get("status") == "ok" else " !ERROR"
+        print(f"{pad}{_span_label(span)}  {span.get('dur_ms', 0):.1f}ms "
+              f"pid={span.get('pid')}{status}")
+        for ev in sorted(events_by_parent.get(span["span_id"], []),
+                         key=lambda e: e.get("ts", 0.0)):
+            print(f"{pad}  * {ev['name']} {ev.get('attrs', {})}")
+        for child in children.get(span["span_id"], []):
+            render(child, depth + 1)
+
+    for root in roots:
+        render(root, 0)
+    kernels = obs.summarize_kernels(records)
+    if kernels:
+        print()
+        print(format_table(
+            ["kernel", "calls", "timed", "mean_us", "est_total_ms"],
+            [[k["name"], k["calls"], k["timed"], k["mean_us"],
+              k["est_total_ms"]] for k in kernels],
+            title="kernel timing (sampled, merged across processes)"))
+    return 0
+
+
+def _cmd_trace_summary(args) -> int:
+    from . import obs
+
+    path, records = _load_trace(args)
+    if records is None:
+        return 2
+    spans = obs.summarize_spans(records)
+    pids = sorted({r.get("pid") for r in records if r.get("pid")})
+    print(f"trace {path} · {len(records)} record(s) · "
+          f"{len(pids)} process(es): {pids}")
+    if spans:
+        print()
+        print(format_table(
+            ["span", "count", "errors", "total_ms", "mean_ms", "max_ms"],
+            [[s["name"], s["count"], s["errors"], s["total_ms"],
+              s["mean_ms"], s["max_ms"]] for s in spans],
+            title="per-span aggregates"))
+    kernels = obs.summarize_kernels(records)
+    if kernels:
+        print()
+        print(format_table(
+            ["kernel", "calls", "timed", "mean_us", "est_total_ms"],
+            [[k["name"], k["calls"], k["timed"], k["mean_us"],
+              k["est_total_ms"]] for k in kernels],
+            title="kernel timing (sampled, merged across processes)"))
+    slowest = obs.slowest_spans(records, top=args.top)
+    if slowest:
+        print()
+        print(format_table(
+            ["span", "dur_ms", "pid", "status"],
+            [[_span_label(s), s.get("dur_ms", 0), s.get("pid"),
+              s.get("status")] for s in slowest],
+            title=f"top {len(slowest)} slowest spans"))
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

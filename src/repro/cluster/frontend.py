@@ -37,8 +37,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..serve.errors import Overloaded, WorkerDied
-from ..serve.telemetry import Telemetry
+from ..serve.telemetry import Telemetry, merge_batch_histograms
 from . import protocol
 from .supervisor import Supervisor, WorkerHandle
 
@@ -97,6 +98,7 @@ class ClusterService:
             if handle is None:
                 with self._count_lock:
                     self._rejected += 1
+                obs.counter("cluster_rejected")
                 raise Overloaded(
                     f"all {len(self.supervisor.live_handles())} live "
                     f"workers at max in-flight "
@@ -271,11 +273,48 @@ class ClusterService:
                     pass  # supervisor-side state still describes the slot
             workers.append(info)
         payload["workers"] = workers
+        # Fleet-wide registry view: each worker's obs snapshot (live from
+        # the scrape above, else the last heartbeat-shipped one) merged
+        # with per-worker labels, plus this front-end process's own.
+        snaps, labels = [obs.metrics.snapshot()], [{"process": "frontend"}]
+        for info in workers:
+            snap = (info.get("metrics") or {}).get("obs") or info.get("obs")
+            if snap:
+                snaps.append(snap)
+                labels.append({"worker": str(info["slot"])})
+        payload["obs"] = obs.merge_snapshots(snaps, extra_labels=labels)
+        payload["workers_batch_size_histogram"] = merge_batch_histograms(
+            [(info.get("metrics") or {}).get("batch_size_histogram")
+             for info in workers])
         return payload
 
     def pending(self) -> int:
         """Requests currently held by workers on behalf of this front end."""
         return sum(h.inflight for h in self.supervisor.live_handles())
+
+    def final_snapshot(self) -> dict:
+        """Shutdown-time summary from front-end state only.
+
+        Safe to call after ``shutdown()``/``stop()``: it deliberately
+        touches no worker control plane (the workers may already be
+        gone), so the CLI can print what the cluster did — served,
+        cached, errored, rejected, restarts — instead of discarding it
+        with the processes.
+        """
+        snap = self.telemetry.snapshot()
+        with self._count_lock:
+            rejected = self._rejected
+        return {
+            "requests": snap["requests"],
+            "cached_requests": snap["cached_requests"],
+            "errors": snap["errors"],
+            "rejected_503": rejected,
+            "restarts": self.supervisor.restarts_total(),
+            "uptime_s": round(snap["uptime_s"], 3),
+            "latency_ms_p50": round(snap["latency_ms"]["p50"], 3),
+            "latency_ms_p99": round(snap["latency_ms"]["p99"], 3),
+            "energy_mj_total": round(snap["energy_mj_total"], 6),
+        }
 
     # -- lifecycle -------------------------------------------------------
 

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional
 
 import multiprocessing
 
+from .. import obs
 from ..serve.errors import WorkerDied
 from . import protocol
 from .protocol import WorkerSpec
@@ -250,6 +251,9 @@ class WorkerHandle:
             "fatal_error": self.fatal_error,
             **{k: self.stats.get(k) for k in
                ("uptime_s", "requests", "errors", "pending", "versions")},
+            # Last heartbeat-shipped metrics snapshot (may trail the
+            # worker's live registry by up to one heartbeat interval).
+            "obs": self.stats.get("obs"),
         }
 
 
@@ -388,6 +392,8 @@ class Supervisor:
         handle = slot.handle
         slot.last_error = reason
         slot.consecutive_failures += 1
+        obs.counter("cluster_worker_failures", slot=slot.index)
+        obs.event("worker_failed", slot=slot.index, reason=reason)
         delay = backoff_delay(slot.consecutive_failures,
                               self.backoff_base_s, self.backoff_cap_s)
         slot.next_restart_at = time.monotonic() + delay

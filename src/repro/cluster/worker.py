@@ -32,6 +32,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
+from .. import obs
 from ..persist import checkpoint_paths
 from ..serve import InferenceService, ModelRegistry
 from . import protocol
@@ -80,6 +81,10 @@ class _Worker:
             "pending": self.service.pending(),
             "inflight": inflight,
             "versions": self.registry.active_versions(),
+            # Metric shipping rides the heartbeat: the registry snapshot
+            # is a plain dict, so the supervisor-side handle just keeps
+            # the latest one and the front end merges across workers.
+            "obs": obs.metrics.snapshot(),
         }
 
     def _heartbeat_loop(self) -> None:

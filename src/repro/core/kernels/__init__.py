@@ -385,3 +385,18 @@ def sum_of_products(rule, x0, x1, y0, y1, tag, w) -> np.ndarray:
 # values are rejected here, at import, with the ValueError from
 # select_backend.
 select_backend(os.environ.get(ENV_VAR) or None)
+
+# Observability: wrap the public kernels with the sampled call-timing
+# probe.  repro.obs is stdlib-only, so importing it here cannot cycle
+# back into this module.  REPRO_OBS_KERNEL_SAMPLE=0 reduces each wrapper
+# to a single `if` before the real call.
+from ... import obs as _obs  # noqa: E402
+
+if_step = _obs.kernel_profiler.wrap("if_step", if_step)
+cuba_step = _obs.kernel_profiler.wrap("cuba_step", cuba_step)
+trace_update = _obs.kernel_profiler.wrap("trace_update", trace_update)
+delta_w = _obs.kernel_profiler.wrap("delta_w", delta_w)
+delta_w_batch = _obs.kernel_profiler.wrap("delta_w_batch", delta_w_batch)
+delta_w_loihi = _obs.kernel_profiler.wrap("delta_w_loihi", delta_w_loihi)
+sum_of_products = _obs.kernel_profiler.wrap("sum_of_products",
+                                            sum_of_products)

@@ -31,13 +31,18 @@ def load_dataset(name: str, n_train: int, n_test: int, side: int = 16,
     The test split uses a derived seed so the two splits never share
     samples while remaining reproducible.
     """
+    from .. import obs
+
     if name in PAPER_MAPPING:
         name = PAPER_MAPPING[name]
     if name not in DATASETS:
         raise KeyError(
             f"unknown dataset {name!r}; available: {sorted(DATASETS)}")
     module = DATASETS[name]
-    train = module.generate(n_train, side=side, seed=seed, classes=classes)
-    test = module.generate(n_test, side=side, seed=seed + 10_000,
-                           classes=classes)
+    with obs.span("load_dataset", dataset=name, n_train=n_train,
+                  n_test=n_test, side=side):
+        train = module.generate(n_train, side=side, seed=seed,
+                                classes=classes)
+        test = module.generate(n_test, side=side, seed=seed + 10_000,
+                               classes=classes)
     return train, test

@@ -25,6 +25,7 @@ from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from .. import obs
 from .spec import ExperimentSpec
 from .store import CHECKPOINT_DIR_NAME, RunInfo, RunStore
 
@@ -34,20 +35,38 @@ def new_run_id() -> str:
     return time.strftime("%Y%m%d-%H%M%S") + "-" + uuid.uuid4().hex[:6]
 
 
-def _seed_worker(spec_dict: dict, seed: int, ckpt_dir: Optional[str]) -> dict:
-    """Run one seed of one scenario; returns the record payload."""
+def _seed_worker(spec_dict: dict, seed: int, ckpt_dir: Optional[str],
+                 trace_parent: Optional[str] = None) -> dict:
+    """Run one seed of one scenario; returns the record payload.
+
+    ``trace_parent`` is the parent process's ``run`` span id: the seed
+    span written by this (possibly separate) process links to it, which
+    is what stitches the per-process trace fragments into one tree.
+    Kernel timing is emitted as a *delta* against the profiler state at
+    entry, so inline execution (no fresh process) reports only this
+    seed's kernel activity.
+    """
     from .scenarios import get_scenario
 
     spec = ExperimentSpec.from_dict(spec_dict)
     scenario = get_scenario(spec.name)
+    run_dir = Path(ckpt_dir).parent if ckpt_dir else None
+    kernel_baseline = obs.kernel_profiler.snapshot()
     t0 = time.perf_counter()
-    payload = scenario.run_seed(
-        spec, int(seed), Path(ckpt_dir) if ckpt_dir else None)
-    payload = dict(payload)
-    payload.setdefault("series", {})
-    payload.setdefault("checkpoints", {})
-    payload["seed"] = int(seed)
-    payload["duration_s"] = round(time.perf_counter() - t0, 3)
+    with obs.trace_bound(obs.trace_path_for(run_dir)):
+        with obs.span("seed", parent_id=trace_parent, seed=int(seed),
+                      experiment=spec.name) as sp:
+            payload = scenario.run_seed(
+                spec, int(seed), Path(ckpt_dir) if ckpt_dir else None)
+            payload = dict(payload)
+            payload.setdefault("series", {})
+            payload.setdefault("checkpoints", {})
+            payload["seed"] = int(seed)
+            payload["duration_s"] = round(time.perf_counter() - t0, 3)
+            if sp is not None:
+                sp.set(duration_s=payload["duration_s"],
+                       metrics=payload.get("metrics", {}))
+        obs.emit_kernel_stats(kernel_baseline)
     return payload
 
 
@@ -159,24 +178,38 @@ class Runner:
         }
         records = list(done.values())
         failed = False
-        for payload in self._execute(spec, pending, run, progress):
-            record = {**envelope, **payload}
-            record.setdefault("status", "ok")
-            self.store.append_record(run, record)
-            records.append(record)
-            failed = failed or record["status"] != "ok"
-            if progress is not None:
-                progress(f"seed {record['seed']}: {record['status']} "
-                         f"({record.get('duration_s', '?')}s)")
-
-        run = self.store.update_status(
-            run, "failed" if failed else "complete")
+        with obs.trace_bound(obs.trace_path_for(run.path)):
+            with obs.span("run", experiment=spec.name, run_id=run.run_id,
+                          seeds=len(spec.seeds),
+                          pending=len(pending)) as root:
+                trace_parent = root.span_id if root is not None else None
+                for payload in self._execute(spec, pending, run, progress,
+                                             trace_parent):
+                    record = {**envelope, **payload}
+                    record.setdefault("status", "ok")
+                    self.store.append_record(run, record)
+                    records.append(record)
+                    failed = failed or record["status"] != "ok"
+                    obs.event("seed_finished", seed=record["seed"],
+                              status=record["status"],
+                              duration_s=record.get("duration_s"))
+                    obs.counter("seeds_finished", experiment=spec.name,
+                                status=record["status"])
+                    if progress is not None:
+                        progress(f"seed {record['seed']}: "
+                                 f"{record['status']} "
+                                 f"({record.get('duration_s', '?')}s)")
+                status = "failed" if failed else "complete"
+                if root is not None:
+                    root.set(status=status)
+        run = self.store.update_status(run, status)
         return RunResult(run=run, records=records, skipped_seeds=skipped)
 
     # -- execution strategies -------------------------------------------
 
     def _execute(self, spec: ExperimentSpec, pending: List[int],
-                 run: RunInfo, progress: Optional[callable]):
+                 run: RunInfo, progress: Optional[callable],
+                 trace_parent: Optional[str] = None):
         """Yield one record payload per pending seed as they finish."""
         if not pending:
             return
@@ -186,12 +219,14 @@ class Runner:
         if workers is None:
             workers = min(len(pending), os.cpu_count() or 1)
         if workers <= 1 or len(pending) == 1:
-            yield from self._execute_inline(spec_dict, pending, ckpt_dir)
+            yield from self._execute_inline(spec_dict, pending, ckpt_dir,
+                                            trace_parent)
             return
         yielded = set()
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(_seed_worker, spec_dict, s, ckpt_dir): s
+                futures = {pool.submit(_seed_worker, spec_dict, s, ckpt_dir,
+                                       trace_parent): s
                            for s in pending}
                 for fut in as_completed(futures):
                     seed = futures[fut]
@@ -215,13 +250,14 @@ class Runner:
                          "running remaining seeds inline")
             yield from self._execute_inline(
                 spec_dict, [s for s in pending if s not in yielded],
-                ckpt_dir)
+                ckpt_dir, trace_parent)
 
     @staticmethod
-    def _execute_inline(spec_dict: dict, pending: List[int], ckpt_dir: str):
+    def _execute_inline(spec_dict: dict, pending: List[int], ckpt_dir: str,
+                        trace_parent: Optional[str] = None):
         for seed in pending:
             try:
-                yield _seed_worker(spec_dict, seed, ckpt_dir)
+                yield _seed_worker(spec_dict, seed, ckpt_dir, trace_parent)
             except Exception:
                 yield _error_payload(seed)
 

@@ -33,6 +33,7 @@ import dataclasses
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..analysis.tradeoff import (as_series, best_energy_point,
                                  sweep_neurons_per_core)
 from ..baselines.rate_ann import BackpropMLP
@@ -109,8 +110,10 @@ def _run_offline_seed(spec: ExperimentSpec, seed: int,
         channels = train.images.shape[3] if train.images.ndim == 4 else 1
         frontend = ConvFrontend(paper_topology(spec.side, channels),
                                 seed=seed)
-        frontend.pretrain(train.images, train.labels,
-                          epochs=int(p.get("frontend_epochs", 3)))
+        with obs.span("frontend_pretrain",
+                      epochs=int(p.get("frontend_epochs", 3))):
+            frontend.pretrain(train.images, train.labels,
+                              epochs=int(p.get("frontend_epochs", 3)))
         xs, xte = frontend.features(train.images), frontend.features(
             test.images)
     else:
@@ -151,11 +154,16 @@ def _build_soft_model(spec, seed, backend, dims):
 
 
 def _run_soft_backend(spec, seed, backend, dims, xs, ys, xte, yte):
-    model = _build_soft_model(spec, seed, backend, dims)
-    train_acc = 0.0
-    for _ in range(spec.epochs):
-        train_acc = model.train_stream(xs, ys)
-    test_acc = model.evaluate_batch(xte, yte)
+    with obs.span("backend", backend=backend):
+        model = _build_soft_model(spec, seed, backend, dims)
+        train_acc = 0.0
+        for epoch in range(spec.epochs):
+            with obs.span("fit_epoch", backend=backend, epoch=epoch) as sp:
+                train_acc = model.train_stream(xs, ys)
+                if sp is not None:
+                    sp.set(train_acc=float(train_acc))
+        with obs.span("evaluate", backend=backend, n=len(xte)):
+            test_acc = model.evaluate_batch(xte, yte)
     return model, {"train_acc": float(train_acc), "test_acc": float(test_acc)}
 
 
@@ -196,20 +204,21 @@ def _run_chip_backend(spec, seed, backend, frontend, train, test, xs, xte):
     if spec.phase_length:
         cfg_kw["phase_length"] = spec.phase_length
     cfg = loihi_default_config(**cfg_kw)
-    if frontend is not None and p.get("onchip_frontend"):
-        # The Section IV-A arrangement: conv layers unrolled into fixed
-        # on-chip connectivity, raw images programmed as input biases.
-        mats, biases = frontend_matrices(frontend)
-        model = build_emstdp_network(
-            spec.dims(frontend.n_features), cfg,
-            frontend_layers=list(zip(mats, biases)))
-        tx, ttx = train.flat(), test.flat()
-    else:
-        model = build_emstdp_network(spec.dims(xs.shape[1]), cfg)
-        tx, ttx = xs, xte
-    trainer = LoihiEMSTDPTrainer(
-        model, neurons_per_core=int(p.get("neurons_per_core", 10)),
-        batch_replicas=int(p.get("chip_batch_replicas", 16)))
+    with obs.span("build_chip_network", backend=backend):
+        if frontend is not None and p.get("onchip_frontend"):
+            # The Section IV-A arrangement: conv layers unrolled into fixed
+            # on-chip connectivity, raw images programmed as input biases.
+            mats, biases = frontend_matrices(frontend)
+            model = build_emstdp_network(
+                spec.dims(frontend.n_features), cfg,
+                frontend_layers=list(zip(mats, biases)))
+            tx, ttx = train.flat(), test.flat()
+        else:
+            model = build_emstdp_network(spec.dims(xs.shape[1]), cfg)
+            tx, ttx = xs, xte
+        trainer = LoihiEMSTDPTrainer(
+            model, neurons_per_core=int(p.get("neurons_per_core", 10)),
+            batch_replicas=int(p.get("chip_batch_replicas", 16)))
     lim = min(int(p.get("chip_train_limit", len(tx))), len(tx))
     tlim = min(int(p.get("chip_test_limit", len(ttx))), len(ttx))
     # Training keeps the paper's online semantics by default; the
@@ -217,13 +226,18 @@ def _run_chip_backend(spec, seed, backend, frontend, train, test, xs, xte):
     # mean-of-deltas write-back) is opt-in per spec.
     update_mode = str(p.get("chip_update_mode", "online"))
     train_acc = 0.0
-    for _ in range(spec.epochs):
-        out = trainer.fit_batch(tx[:lim], train.labels[:lim],
-                                update_mode=update_mode)
-        train_acc = out["accuracy"]
+    for epoch in range(spec.epochs):
+        with obs.span("fit_epoch", backend=backend, epoch=epoch,
+                      n=int(lim)) as sp:
+            out = trainer.fit_batch(tx[:lim], train.labels[:lim],
+                                    update_mode=update_mode)
+            train_acc = out["accuracy"]
+            if sp is not None:
+                sp.set(train_acc=float(train_acc))
     # Evaluation always rides the batched replicated runtime (inference is
     # deterministic, so this equals the sequential loop exactly).
-    test_acc = trainer.evaluate_batch(ttx[:tlim], test.labels[:tlim])
+    with obs.span("evaluate", backend=backend, n=int(tlim)):
+        test_acc = trainer.evaluate_batch(ttx[:tlim], test.labels[:tlim])
     report = trainer.energy_report()
     return trainer, {
         "train_acc": float(train_acc), "test_acc": float(test_acc),
@@ -301,7 +315,8 @@ def _run_iol_seed(spec: ExperimentSpec, seed: int,
                         full_precision_config(**cfg_kw))
     iol_cfg = IOLConfig(seed=seed, **spec.params.get("iol", {}))
     learner = IncrementalOnlineLearner(net, ftrain, ftest, iol_cfg)
-    result = learner.run()
+    with obs.span("iol_protocol", seed=seed):
+        result = learner.run()
     curves = result.curves()
     checkpoints: Dict[str, str] = {}
     if ckpt_dir is not None:

@@ -1,0 +1,134 @@
+"""``repro.obs`` — zero-dependency observability for the whole stack.
+
+One import gives every layer the same three primitives:
+
+* **metrics** — labeled counters/gauges/histograms in a process-local
+  :class:`~repro.obs.registry.MetricsRegistry` (module global
+  ``metrics``); snapshots are plain dicts that cluster workers ship on
+  heartbeats and :func:`~repro.obs.registry.merge_snapshots` folds into
+  one fleet view, rendered to Prometheus text by :mod:`repro.obs.prom`.
+* **traces** — ``with obs.trace_bound(path): with obs.span("fit_epoch")``
+  appends durable JSONL span records next to the run artifacts
+  (:mod:`repro.obs.trace`); multi-process safe via ``O_APPEND``
+  single-write lines.
+* **kernel profiling** — the public kernels in :mod:`repro.core.kernels`
+  are wrapped by the module-global ``kernel_profiler``
+  (:mod:`repro.obs.profile`): every call counted, one in
+  ``REPRO_OBS_KERNEL_SAMPLE`` timed.
+
+Environment knobs (all read at import; tests flip the objects directly):
+
+=========================  =============================================
+``REPRO_OBS_TRACE``        ``0`` disables trace binding in the runner /
+                           sweeps / CLI (default on).
+``REPRO_OBS_METRICS``      ``0`` disables the metrics registry write
+                           path (default on).
+``REPRO_OBS_KERNEL_SAMPLE``  sampling stride for kernel timing; ``0``
+                           disables the probes (default ``64``).
+``REPRO_OBS_TRACE_FILE``   optional path: bind a global trace sink at
+                           import (serve/cluster processes, which have
+                           no run directory).
+=========================  =============================================
+
+Everything here is stdlib-only so :mod:`repro.obs` can be imported from
+anywhere in the package — including mid-init from
+``repro.core.kernels`` — without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .profile import KernelProfiler
+from .registry import DEFAULT_BUCKETS, MetricsRegistry, merge_snapshots
+from .trace import (TRACE_FILE_NAME, TraceWriter, Tracer, build_span_forest,
+                    read_trace, slowest_spans, summarize_kernels,
+                    summarize_spans)
+
+__all__ = [
+    "metrics", "tracer", "kernel_profiler",
+    "MetricsRegistry", "Tracer", "TraceWriter", "KernelProfiler",
+    "merge_snapshots", "DEFAULT_BUCKETS", "TRACE_FILE_NAME",
+    "counter", "gauge", "observe", "span", "event", "trace_bound",
+    "trace_enabled", "trace_path_for", "emit_kernel_stats",
+    "read_trace", "build_span_forest", "summarize_spans",
+    "summarize_kernels", "slowest_spans",
+]
+
+
+def _env_flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off", "")
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+#: Process-global instances; all instrumentation routes through these.
+metrics = MetricsRegistry(enabled=_env_flag("REPRO_OBS_METRICS", True))
+tracer = Tracer()
+kernel_profiler = KernelProfiler(
+    sample=_env_int("REPRO_OBS_KERNEL_SAMPLE", 64))
+
+_TRACE_DEFAULT_ON = _env_flag("REPRO_OBS_TRACE", True)
+
+
+def trace_enabled() -> bool:
+    """Whether callers that own a run directory should bind a trace."""
+    return _TRACE_DEFAULT_ON
+
+
+def trace_path_for(directory) -> Optional[str]:
+    """``<directory>/trace.jsonl`` if tracing is on, else ``None``.
+
+    The ``None`` feeds straight into :meth:`Tracer.bind`, which treats it
+    as "don't bind" — one expression at every call site.
+    """
+    if not _TRACE_DEFAULT_ON or directory is None:
+        return None
+    return os.path.join(str(directory), TRACE_FILE_NAME)
+
+
+# -- convenience aliases over the globals -----------------------------------
+
+counter = metrics.inc
+gauge = metrics.set_gauge
+observe = metrics.observe
+span = tracer.span
+event = tracer.event
+trace_bound = tracer.bind
+
+
+def emit_kernel_stats(baseline: Optional[dict] = None) -> None:
+    """Write this process's kernel timing (minus ``baseline``) to the
+    bound trace.  Seed workers call it once at the end of their work so
+    ``trace summary`` can merge per-kernel time across processes."""
+    if not tracer.active():
+        return
+    kernels = kernel_profiler.delta(baseline)
+    if not kernels:
+        return
+    import time
+    tracer.write_record({
+        "kind": "kernel_stats", "pid": os.getpid(),
+        "ts": round(time.time(), 6), "kernels": kernels,
+    })
+
+
+# A serve/cluster process has no run directory; give it a global sink.
+_global_trace = os.environ.get("REPRO_OBS_TRACE_FILE")
+if _global_trace:
+    try:
+        tracer._sinks.append(TraceWriter(_global_trace))
+    except OSError:
+        pass

@@ -1,0 +1,287 @@
+"""Prometheus text exposition (format 0.0.4) rendered from snapshots.
+
+Zero-dependency by design: the renderer walks the plain-dict snapshot
+shape that :class:`~repro.obs.registry.MetricsRegistry` produces and that
+cluster workers ship over heartbeats, plus the JSON payloads the serving
+tier already exposes on ``/metrics``.  ``lint`` is a small validator of
+the invariants a real Prometheus scraper enforces (one TYPE per metric,
+label escaping, cumulative ``le`` buckets ending in ``+Inf``) — used by
+tests and the CI smoke job in place of ``promtool``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_name(name: str) -> str:
+    name = _INVALID_CHARS.sub("_", str(name))
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def sanitize_label(name: str) -> str:
+    label = _LABEL_INVALID.sub("_", str(name))
+    if not label or label[0].isdigit():
+        label = "_" + label
+    if label.startswith("__"):  # reserved prefix
+        label = "x" + label
+    return label
+
+
+def _escape_value(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _labels_text(labels: dict) -> str:
+    if not labels:
+        return ""
+    parts = [f'{sanitize_label(k)}="{_escape_value(v)}"'
+             for k, v in sorted(labels.items())]
+    return "{" + ",".join(parts) + "}"
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class _Doc:
+    """Accumulates samples grouped per metric name (TYPE emitted once)."""
+
+    def __init__(self, prefix: str = "repro_"):
+        self.prefix = prefix
+        self._metrics: Dict[str, Tuple[str, str, List[str]]] = {}
+        self._order: List[str] = []
+
+    def add(self, name: str, mtype: str, value: float, labels: dict = None,
+            help_text: str = "", suffix: str = "") -> None:
+        name = sanitize_name(self.prefix + name)
+        if name not in self._metrics:
+            self._metrics[name] = (mtype, help_text, [])
+            self._order.append(name)
+        self._metrics[name][2].append(
+            f"{name}{suffix}{_labels_text(labels or {})} {_fmt(value)}")
+
+    def add_histogram(self, name: str, bounds, bucket_counts, count, total,
+                      labels: dict = None, help_text: str = "") -> None:
+        name = sanitize_name(self.prefix + name)
+        if name not in self._metrics:
+            self._metrics[name] = ("histogram", help_text, [])
+            self._order.append(name)
+        lines = self._metrics[name][2]
+        labels = dict(labels or {})
+        cumulative = 0
+        for bound, n in zip(list(bounds) + [float("inf")], bucket_counts):
+            cumulative += n
+            lines.append(f"{name}_bucket"
+                         f"{_labels_text({**labels, 'le': _fmt(bound)})} "
+                         f"{_fmt(cumulative)}")
+        lines.append(f"{name}_sum{_labels_text(labels)} {_fmt(total)}")
+        lines.append(f"{name}_count{_labels_text(labels)} {_fmt(count)}")
+
+    def render(self) -> str:
+        out: List[str] = []
+        for name in self._order:
+            mtype, help_text, lines = self._metrics[name]
+            if help_text:
+                out.append(f"# HELP {name} {help_text}")
+            out.append(f"# TYPE {name} {mtype}")
+            out.extend(lines)
+        return "\n".join(out) + "\n" if out else ""
+
+
+def render_snapshot(snapshot: dict, doc: Optional[_Doc] = None,
+                    extra_labels: Optional[dict] = None) -> str:
+    """Render a registry snapshot (or merged snapshots) to text format."""
+    own = doc is None
+    doc = doc or _Doc()
+    extra = extra_labels or {}
+    for c in snapshot.get("counters", ()):
+        doc.add(c["name"] + "_total", "counter", c["value"],
+                {**c.get("labels", {}), **extra})
+    for g in snapshot.get("gauges", ()):
+        doc.add(g["name"], "gauge", g["value"],
+                {**g.get("labels", {}), **extra})
+    for h in snapshot.get("histograms", ()):
+        doc.add_histogram(h["name"], h["bounds"], h["bucket_counts"],
+                          h["count"], h["sum"],
+                          {**h.get("labels", {}), **extra})
+    return doc.render() if own else ""
+
+
+def render_metrics_payload(payload: dict) -> str:
+    """Render a serve/cluster ``/metrics`` JSON payload as Prometheus text.
+
+    Handles both shapes: the single-process ``InferenceService.metrics()``
+    dict and the ``ClusterService.metrics()`` dict with per-worker
+    sub-payloads.  Unknown scalar fields become gauges; the embedded
+    ``obs`` registry snapshot renders natively.
+    """
+    doc = _Doc()
+    _render_service_payload(doc, payload, {})
+    # A cluster front end's top-level "obs" is already the merge of every
+    # worker's registry snapshot under per-worker labels; rendering each
+    # worker sub-payload's embedded "obs" again would duplicate those
+    # series (which a Prometheus scrape rejects).
+    merged_obs = isinstance(payload.get("obs"), dict)
+    for worker in payload.get("workers", ()):
+        labels = {"worker": worker.get("slot", "?")}
+        metrics = worker.get("metrics")
+        if isinstance(metrics, dict):
+            _render_service_payload(doc, metrics, labels,
+                                    include_obs=not merged_obs)
+        doc.add("worker_up", "gauge",
+                1.0 if worker.get("state") in ("ready", "live", "starting")
+                or worker.get("live") else 0.0, labels)
+        if "restarts" in worker:
+            doc.add("worker_restarts_total", "counter",
+                    worker["restarts"], labels)
+    return doc.render()
+
+
+def _render_service_payload(doc: _Doc, payload: dict, labels: dict,
+                            include_obs: bool = True) -> None:
+    for key in ("requests", "errors", "cache_hits", "rejected_503"):
+        if key in payload:
+            doc.add(f"{key}_total", "counter", payload[key], labels)
+    for key in ("uptime_s", "pending", "inflight", "energy_mj_total",
+                "live_workers"):
+        if key in payload:
+            doc.add(key, "gauge", payload[key], labels)
+    for dist_key in ("latency_ms", "queue_ms"):
+        dist = payload.get(dist_key)
+        if isinstance(dist, dict):
+            for pct in ("p50", "p95", "p99", "mean", "max"):
+                if pct in dist:
+                    doc.add(f"{dist_key}_{pct}", "gauge", dist[pct], labels)
+    batch_hist = payload.get("batch_size_histogram")
+    if isinstance(batch_hist, dict):
+        for size, n in sorted(batch_hist.items(),
+                              key=lambda kv: int(kv[0])):
+            doc.add("batch_size_total", "counter", n,
+                    {**labels, "size": size})
+    cache = payload.get("cache")
+    if isinstance(cache, dict):
+        for key in ("hits", "misses", "evictions"):
+            if key in cache:
+                doc.add(f"cache_{key}_total", "counter", cache[key], labels)
+        if "size" in cache:
+            doc.add("cache_size", "gauge", cache["size"], labels)
+    sup = payload.get("supervisor")
+    if isinstance(sup, dict):
+        for key in ("workers", "live_workers", "quorum"):
+            if key in sup:
+                doc.add(f"supervisor_{key}", "gauge", sup[key], labels)
+        if "restarts" in sup:
+            doc.add("supervisor_restarts_total", "counter",
+                    sup["restarts"], labels)
+    obs_snap = payload.get("obs")
+    if include_obs and isinstance(obs_snap, dict):
+        render_snapshot(obs_snap, doc=doc, extra_labels=labels)
+
+
+def lint(text: str) -> List[str]:
+    """Validate exposition text; returns a list of problems (empty = ok).
+
+    Checks the rules a Prometheus scrape enforces: metric/label name
+    charset, float-parsable values, at most one TYPE per metric and
+    samples following their TYPE, no two samples with the same name and
+    label set, histogram buckets cumulative and terminated by
+    ``le="+Inf"``.
+    """
+    problems: List[str] = []
+    typed: Dict[str, str] = {}
+    seen_series = set()
+    sample_re = re.compile(
+        r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)(\s+\d+)?$')
+    label_re = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+    buckets: Dict[str, List[float]] = {}
+    for i, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) < 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                problems.append(f"line {i}: malformed TYPE line")
+                continue
+            name = parts[2]
+            if name in typed:
+                problems.append(f"line {i}: duplicate TYPE for {name}")
+            typed[name] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = sample_re.match(line)
+        if not m:
+            problems.append(f"line {i}: unparsable sample: {line!r}")
+            continue
+        name, _, labels_text, value = m.group(1), m.group(2), m.group(3), \
+            m.group(4)
+        if not _NAME_OK.match(name):
+            problems.append(f"line {i}: bad metric name {name!r}")
+        try:
+            float(value.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            problems.append(f"line {i}: bad value {value!r}")
+        label_dict = {}
+        if labels_text:
+            consumed = label_re.sub("", labels_text).replace(",", "").strip()
+            if consumed:
+                problems.append(f"line {i}: bad label syntax {labels_text!r}")
+            for lm in label_re.finditer(labels_text):
+                if not _LABEL_OK.match(lm.group(1)):
+                    problems.append(
+                        f"line {i}: bad label name {lm.group(1)!r}")
+                label_dict[lm.group(1)] = lm.group(2)
+        series_key = (name, tuple(sorted(label_dict.items())))
+        if series_key in seen_series:
+            problems.append(
+                f"line {i}: duplicate sample for {name} with labels "
+                f"{label_dict}")
+        seen_series.add(series_key)
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in typed:
+                base = name[:-len(suffix)]
+                break
+        if base not in typed and name not in typed:
+            problems.append(f"line {i}: sample {name} has no TYPE line")
+        if name.endswith("_bucket") and typed.get(base) == "histogram":
+            le = label_dict.get("le")
+            if le is None:
+                problems.append(f"line {i}: bucket sample missing le label")
+            else:
+                series = base + "|" + ",".join(
+                    f"{k}={v}" for k, v in sorted(label_dict.items())
+                    if k != "le")
+                seq = buckets.setdefault(series, [])
+                seq.append(float(value))
+                if le == "+Inf":
+                    if seq != sorted(seq):
+                        problems.append(
+                            f"line {i}: histogram {base} buckets not "
+                            f"cumulative")
+                    buckets[series] = []
+    for series, seq in buckets.items():
+        if seq:
+            problems.append(
+                f"histogram series {series.split('|')[0]} has buckets but "
+                f'no le="+Inf" terminator')
+    return problems

@@ -1,0 +1,193 @@
+"""In-process metrics: labeled counters, gauges, and histograms.
+
+One :class:`MetricsRegistry` per process is the steady state (the module
+global in :mod:`repro.obs`).  The write path is deliberately cheap — a
+dict upsert keyed on ``(name, sorted label items)`` under the GIL, no
+locking on the hot path — because counters fire inside the serving and
+training loops ("lock-free-enough": a torn read in ``snapshot`` can
+under-count by one increment, never corrupt).  Snapshots are plain
+JSON/pickle-able dicts, which is what lets cluster workers piggyback them
+on heartbeats and the front end merge them into one view
+(:func:`merge_snapshots`).
+
+Histograms use fixed multiplicative bucket bounds (so Prometheus can
+aggregate them across processes): each ``observe`` lands in the first
+bucket whose upper bound is >= the value, plus exact ``count``/``sum``/
+``min``/``max`` running totals.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds: half-decades from 10us-scale
+#: values to minutes, good for both latencies (ms) and batch sizes.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 30000.0, 60000.0,
+)
+
+Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: dict) -> Key:
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
+
+
+class _Histogram:
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: Sequence[float]):
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +inf overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+
+class MetricsRegistry:
+    """Process-local metric store with a mergeable snapshot format.
+
+    ``enabled=False`` turns every write into an immediate return — the
+    switch the overhead benchmark uses to price the instrumentation, and
+    what ``REPRO_OBS_METRICS=0`` flips at import.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = bool(enabled)
+        self._counters: Dict[Key, float] = {}
+        self._gauges: Dict[Key, float] = {}
+        self._histograms: Dict[Key, _Histogram] = {}
+        # Only histogram *creation* takes the lock; observes ride the GIL.
+        self._create_lock = threading.Lock()
+
+    # -- write path ------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        if not self.enabled:
+            return
+        key = _key(name, labels)
+        self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        if not self.enabled:
+            return
+        self._gauges[_key(name, labels)] = float(value)
+
+    def observe(self, name: str, value: float,
+                buckets: Optional[Sequence[float]] = None, **labels) -> None:
+        if not self.enabled:
+            return
+        key = _key(name, labels)
+        hist = self._histograms.get(key)
+        if hist is None:
+            with self._create_lock:
+                hist = self._histograms.setdefault(
+                    key, _Histogram(buckets or DEFAULT_BUCKETS))
+        hist.observe(float(value))
+
+    def reset(self) -> None:
+        """Drop every series (tests and benchmark isolation)."""
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
+    # -- read path -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every series; picklable and mergeable."""
+        counters = [{"name": n, "labels": dict(ls), "value": v}
+                    for (n, ls), v in sorted(self._counters.items())]
+        gauges = [{"name": n, "labels": dict(ls), "value": v}
+                  for (n, ls), v in sorted(self._gauges.items())]
+        histograms = []
+        for (n, ls), h in sorted(self._histograms.items()):
+            histograms.append({
+                "name": n, "labels": dict(ls),
+                "bounds": list(h.bounds),
+                "bucket_counts": list(h.bucket_counts),
+                "count": h.count, "sum": h.sum,
+                "min": h.min if h.count else 0.0,
+                "max": h.max if h.count else 0.0,
+            })
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+
+def merge_snapshots(snapshots: Iterable[Optional[dict]],
+                    extra_labels: Optional[List[Optional[dict]]] = None,
+                    ) -> dict:
+    """Merge per-process snapshots into one registry-shaped snapshot.
+
+    ``extra_labels[i]`` (e.g. ``{"worker": "2"}``) is stamped onto every
+    series of ``snapshots[i]`` before merging, which is how a cluster
+    front end keeps per-worker attribution while still summing series
+    that share a full label set.  Counters and histogram buckets add;
+    gauges last-write-wins (identical labels from two processes would be
+    a caller bug — the extra labels exist to prevent exactly that).
+    """
+    counters: Dict[Key, float] = {}
+    gauges: Dict[Key, float] = {}
+    hists: Dict[Key, dict] = {}
+    snapshots = list(snapshots)
+    for i, snap in enumerate(snapshots):
+        if not snap:
+            continue
+        extra = (extra_labels[i] if extra_labels is not None else None) or {}
+        for c in snap.get("counters", ()):
+            key = _key(c["name"], {**c.get("labels", {}), **extra})
+            counters[key] = counters.get(key, 0.0) + float(c["value"])
+        for g in snap.get("gauges", ()):
+            gauges[_key(g["name"], {**g.get("labels", {}), **extra})] = \
+                float(g["value"])
+        for h in snap.get("histograms", ()):
+            key = _key(h["name"], {**h.get("labels", {}), **extra})
+            have = hists.get(key)
+            if have is None or have["bounds"] != h["bounds"]:
+                if have is not None:
+                    # Incompatible bucket bounds cannot be added; keep
+                    # both by suffixing the later one's name.
+                    key = (key[0] + "_alt", key[1])
+                    have = hists.get(key)
+            if have is None:
+                hists[key] = {
+                    "name": key[0], "labels": dict(key[1]),
+                    "bounds": list(h["bounds"]),
+                    "bucket_counts": list(h["bucket_counts"]),
+                    "count": h["count"], "sum": h["sum"],
+                    "min": h["min"], "max": h["max"],
+                }
+            else:
+                have["bucket_counts"] = [
+                    a + b for a, b in zip(have["bucket_counts"],
+                                          h["bucket_counts"])]
+                new_count = have["count"] + h["count"]
+                have["min"] = (min(have["min"], h["min"])
+                               if have["count"] and h["count"]
+                               else (h["min"] if h["count"] else have["min"]))
+                have["max"] = (max(have["max"], h["max"])
+                               if have["count"] and h["count"]
+                               else (h["max"] if h["count"] else have["max"]))
+                have["count"] = new_count
+                have["sum"] += h["sum"]
+    return {
+        "counters": [{"name": n, "labels": dict(ls), "value": v}
+                     for (n, ls), v in sorted(counters.items())],
+        "gauges": [{"name": n, "labels": dict(ls), "value": v}
+                   for (n, ls), v in sorted(gauges.items())],
+        "histograms": [hists[k] for k in sorted(hists)],
+    }

@@ -1,0 +1,328 @@
+"""Durable span/event tracing to JSONL files next to the run artifacts.
+
+A trace is a flat append-only JSONL file (``trace.jsonl`` in a run or
+sweep directory).  Every record is one complete line written with a
+single ``os.write`` on an ``O_APPEND`` descriptor, so *multiple
+processes* (the runner parent and its seed workers) append to one file
+without interleaving partial lines, and a process killed mid-write can
+tear at most its own last line — which :func:`read_trace` tolerates, the
+same contract ``records.jsonl`` already has.
+
+Record kinds::
+
+    {"kind": "span",  "name": ..., "span_id": ..., "parent_id": ...,
+     "pid": ..., "ts": <unix start>, "dur_ms": ..., "status": "ok"|"error",
+     "attrs": {...}}
+    {"kind": "event", "name": ..., "parent_id": ..., "pid": ...,
+     "ts": ..., "attrs": {...}}
+    {"kind": "kernel_stats", "pid": ..., "ts": ..., "kernels":
+     {name: {"calls": ..., "timed": ..., "sampled_ms": ...,
+             "mean_us": ..., "est_total_ms": ...}}}
+
+Spans are written at *close* time (one line carries start + duration), so
+children appear in the file before their parent — consumers build the
+tree by id, not by order.  Span ids are ``<pid hex>.<counter>``: unique
+across the processes sharing a file without coordination.
+
+The :class:`Tracer` keeps a stack of bound sinks (``bind`` nests: a sweep
+binds its own trace, each point's runner binds the child run's trace on
+top) and a per-thread stack of open spans for parentage.  With no sink
+bound, ``span``/``event`` are no-ops a few attribute checks deep — the
+instrumented call sites stay in production code at near-zero cost.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+TRACE_FILE_NAME = "trace.jsonl"
+
+
+def _jsonable(value):
+    """Best-effort JSON coercion for span attrs (numpy scalars, paths)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    item = getattr(value, "item", None)  # numpy scalar
+    if callable(item):
+        try:
+            return item()
+        except Exception:
+            pass
+    return str(value)
+
+
+class TraceWriter:
+    """One O_APPEND descriptor; each record is a single atomic write."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd = os.open(str(self.path),
+                           os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+
+    def write(self, record: dict) -> None:
+        line = json.dumps(record, separators=(",", ":"),
+                          sort_keys=True) + "\n"
+        try:
+            os.write(self._fd, line.encode("utf-8"))
+        except OSError:
+            pass  # a full disk must never fail the traced work itself
+
+    def close(self) -> None:
+        try:
+            os.close(self._fd)
+        except OSError:
+            pass
+
+
+class SpanHandle:
+    """What ``with obs.span(...) as sp`` yields; ``None``-safe no-op too."""
+
+    __slots__ = ("name", "span_id", "parent_id", "attrs", "_writer",
+                 "_ts", "_t0")
+
+    def __init__(self, name, span_id, parent_id, attrs, writer, ts, t0):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self._writer = writer
+        self._ts = ts
+        self._t0 = t0
+
+    def set(self, **attrs) -> None:
+        """Attach result attributes before the span closes."""
+        self.attrs.update(attrs)
+
+
+class Tracer:
+    """Sink stack + per-thread span stack; see the module docstring."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._sinks: List[TraceWriter] = []
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+
+    # -- sink management -------------------------------------------------
+
+    def active(self) -> bool:
+        return bool(self._sinks)
+
+    def _sink(self) -> Optional[TraceWriter]:
+        sinks = self._sinks
+        return sinks[-1] if sinks else None
+
+    @contextlib.contextmanager
+    def bind(self, path: Optional[Union[str, Path]]):
+        """Route spans/events to ``path`` for the duration of the block.
+
+        ``path=None`` yields without binding anything (callers pass the
+        result of an enablement check straight in).  Binds nest; spans
+        capture their sink at entry, so a span opened under an outer bind
+        closes into that same file even if an inner bind came and went.
+        """
+        if path is None:
+            yield None
+            return
+        writer = TraceWriter(path)
+        with self._lock:
+            self._sinks.append(writer)
+        try:
+            yield writer
+        finally:
+            with self._lock:
+                try:
+                    self._sinks.remove(writer)
+                except ValueError:  # pragma: no cover - double unbind
+                    pass
+            writer.close()
+
+    def new_span_id(self) -> str:
+        return f"{os.getpid():x}.{next(self._ids)}"
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span_id(self) -> Optional[str]:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    # -- recording -------------------------------------------------------
+
+    @contextlib.contextmanager
+    def span(self, name: str, parent_id: Optional[str] = None, **attrs):
+        """Time a block; writes one ``span`` record when it exits.
+
+        ``parent_id`` overrides the thread-local parent — the runner uses
+        it to link a worker process's root span to the parent process's
+        ``run`` span across the process boundary.
+        """
+        writer = self._sink()
+        if writer is None:
+            yield None
+            return
+        stack = self._stack()
+        handle = SpanHandle(
+            name=str(name), span_id=self.new_span_id(),
+            parent_id=parent_id if parent_id is not None
+            else (stack[-1] if stack else None),
+            attrs={k: _jsonable(v) for k, v in attrs.items()},
+            writer=writer, ts=time.time(), t0=time.perf_counter())
+        stack.append(handle.span_id)
+        status = "ok"
+        try:
+            yield handle
+        except BaseException:
+            status = "error"
+            raise
+        finally:
+            dur_ms = (time.perf_counter() - handle._t0) * 1e3
+            if stack and stack[-1] == handle.span_id:
+                stack.pop()
+            writer.write({
+                "kind": "span", "name": handle.name,
+                "span_id": handle.span_id, "parent_id": handle.parent_id,
+                "pid": os.getpid(), "ts": round(handle._ts, 6),
+                "dur_ms": round(dur_ms, 3), "status": status,
+                "attrs": handle.attrs,
+            })
+
+    def event(self, name: str, **attrs) -> None:
+        """Write one point-in-time record under the current span."""
+        writer = self._sink()
+        if writer is None:
+            return
+        writer.write({
+            "kind": "event", "name": str(name),
+            "parent_id": self.current_span_id(), "pid": os.getpid(),
+            "ts": round(time.time(), 6),
+            "attrs": {k: _jsonable(v) for k, v in attrs.items()},
+        })
+
+    def write_record(self, record: dict) -> None:
+        """Write an arbitrary record (kernel stats, metric snapshots)."""
+        writer = self._sink()
+        if writer is not None:
+            writer.write(record)
+
+
+# ---------------------------------------------------------------------------
+# Reading and analysis
+# ---------------------------------------------------------------------------
+
+def read_trace(path: Union[str, Path]) -> List[dict]:
+    """Parsed trace records; a torn trailing line is tolerated.
+
+    A process SIGKILLed mid-``write`` leaves at most one incomplete line
+    (single-write appends); every record before it is intact.  Torn or
+    corrupt lines anywhere are skipped rather than fatal, so a trace is
+    always readable up to the instant its writers died.
+    """
+    records: List[dict] = []
+    path = Path(path)
+    if not path.is_file():
+        return records
+    with path.open("rb") as fh:
+        for raw in fh.read().split(b"\n"):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def build_span_forest(records: List[dict]):
+    """``(roots, children)``: spans whose parent is absent, and an id ->
+    sorted-children map.  Cross-process parents (a worker's root span
+    pointing at the parent process's ``run`` span) resolve naturally
+    because ids are unique across the processes sharing the file."""
+    spans = [r for r in records if r.get("kind") == "span"]
+    by_id: Dict[str, dict] = {s["span_id"]: s for s in spans}
+    children: Dict[str, List[dict]] = {}
+    roots: List[dict] = []
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    for kids in children.values():
+        kids.sort(key=lambda s: s.get("ts", 0.0))
+    roots.sort(key=lambda s: s.get("ts", 0.0))
+    return roots, children
+
+
+def summarize_spans(records: List[dict]) -> List[dict]:
+    """Per-name aggregates over every span, slowest total first."""
+    agg: Dict[str, dict] = {}
+    for span in records:
+        if span.get("kind") != "span":
+            continue
+        entry = agg.setdefault(span["name"], {
+            "name": span["name"], "count": 0, "errors": 0,
+            "total_ms": 0.0, "max_ms": 0.0})
+        dur = float(span.get("dur_ms", 0.0))
+        entry["count"] += 1
+        entry["total_ms"] += dur
+        entry["max_ms"] = max(entry["max_ms"], dur)
+        if span.get("status") == "error":
+            entry["errors"] += 1
+    out = sorted(agg.values(), key=lambda e: -e["total_ms"])
+    for entry in out:
+        entry["total_ms"] = round(entry["total_ms"], 3)
+        entry["mean_ms"] = round(entry["total_ms"] / entry["count"], 3)
+        entry["max_ms"] = round(entry["max_ms"], 3)
+    return out
+
+
+def slowest_spans(records: List[dict], top: int = 10) -> List[dict]:
+    spans = [r for r in records if r.get("kind") == "span"]
+    return sorted(spans, key=lambda s: -float(s.get("dur_ms", 0.0)))[:top]
+
+
+def summarize_kernels(records: List[dict]) -> List[dict]:
+    """Merge every process's ``kernel_stats`` record into one table.
+
+    ``est_total_ms`` extrapolates the sampled timings to all calls
+    (mean sampled duration x call count) — an estimate by construction,
+    but an honest one at the default 1-in-N sampling of a steady loop.
+    """
+    agg: Dict[str, dict] = {}
+    for record in records:
+        if record.get("kind") != "kernel_stats":
+            continue
+        for name, stats in record.get("kernels", {}).items():
+            entry = agg.setdefault(name, {
+                "name": name, "calls": 0, "timed": 0, "sampled_ms": 0.0})
+            entry["calls"] += int(stats.get("calls", 0))
+            entry["timed"] += int(stats.get("timed", 0))
+            entry["sampled_ms"] += float(stats.get("sampled_ms", 0.0))
+    out = []
+    for entry in sorted(agg.values(), key=lambda e: -e["sampled_ms"]):
+        timed = entry["timed"]
+        mean_us = (entry["sampled_ms"] / timed * 1e3) if timed else 0.0
+        entry["mean_us"] = round(mean_us, 2)
+        entry["est_total_ms"] = round(mean_us * entry["calls"] / 1e3, 3)
+        entry["sampled_ms"] = round(entry["sampled_ms"], 3)
+        out.append(entry)
+    return out

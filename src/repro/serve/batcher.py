@@ -33,6 +33,8 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
+
 
 @dataclasses.dataclass(frozen=True)
 class ItemResult:
@@ -147,6 +149,9 @@ class MicroBatcher:
                     break
             with self._lock:
                 self.batches_dispatched += 1
+            obs.counter("serve_batches_dispatched")
+            obs.observe("serve_batch_size", len(batch),
+                        buckets=(1, 2, 4, 8, 16, 32, 64, 128))
             self._pool.submit(self._run_batch, batch)
         self._pool.shutdown(wait=True)
 

@@ -54,13 +54,20 @@ class PredictionCache:
 
     def get(self, key: CacheKey) -> Optional[object]:
         """The cached prediction, or ``None`` (a miss); refreshes recency."""
+        from .. import obs
+
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return self._entries[key]
-            self.misses += 1
-            return None
+                hit = True
+                value = self._entries[key]
+            else:
+                self.misses += 1
+                hit = False
+                value = None
+        obs.counter("serve_cache_lookups", outcome="hit" if hit else "miss")
+        return value
 
     def put(self, key: CacheKey, value: object) -> None:
         if self.capacity == 0:

@@ -15,7 +15,9 @@ calls —
     Liveness: status, model count, request count, uptime.
 ``GET /metrics``
     The full telemetry payload: latency percentiles, batch-size histogram,
-    cache hit rate, per-request energy, model listing.
+    cache hit rate, per-request energy, model listing.  With
+    ``?format=prometheus`` (or ``Accept: text/plain``) the same payload is
+    rendered in the Prometheus text exposition format instead.
 ``POST /admin/...``
     Control-plane routes, available only when the injected service exposes
     ``handle_admin(path, request)`` (the cluster front end does, for
@@ -49,6 +51,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
+from ..obs import prom
 from .errors import Overloaded
 
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -99,11 +102,32 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes ----------------------------------------------------------
 
+    def _send_text(self, text: str, status: int = 200) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
-        if self.path == "/healthz":
+        path, _, query = self.path.partition("?")
+        if path == "/healthz":
             self._send_json(self.service.healthz())
-        elif self.path == "/metrics":
-            self._send_json(self.service.metrics())
+        elif path == "/metrics":
+            # JSON stays the default; Prometheus text is selected by
+            # ?format=prometheus or an Accept header preferring text/plain
+            # (what a Prometheus scraper sends).
+            accept = self.headers.get("Accept", "")
+            wants_prom = ("format=prometheus" in query
+                          or ("text/plain" in accept
+                              and "application/json" not in accept))
+            payload = self.service.metrics()
+            if wants_prom:
+                self._send_text(prom.render_metrics_payload(payload))
+            else:
+                self._send_json(payload)
         else:
             self._send_error_json(404, f"no route {self.path}")
 

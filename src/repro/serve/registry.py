@@ -29,6 +29,7 @@ import threading
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from .. import obs
 from ..persist import CheckpointError, checkpoint_paths, load_checkpoint
 from .telemetry import estimate_request_energy_mj
 
@@ -150,7 +151,9 @@ class ModelRegistry:
              version: Optional[str] = None, activate: bool = True,
              ) -> ModelEntry:
         """Load one checkpoint stem and register it (name defaults to the stem)."""
-        model, _ = model_from_checkpoint(stem)
+        with obs.span("model_load", stem=str(stem)):
+            model, _ = model_from_checkpoint(stem)
+        obs.counter("serve_model_loads")
         npz_path, _ = checkpoint_paths(stem)
         if name is None:
             name = npz_path.name[:-len(".npz")]
@@ -206,6 +209,9 @@ class ModelRegistry:
             self._active[name] = version
             listeners = list(self._listeners)
         if old != version:
+            obs.counter("serve_model_swaps", model=name)
+            obs.event("model_swap", model=name, old_version=old,
+                      new_version=version)
             for listener in listeners:
                 listener(name, old, version)
         return entry

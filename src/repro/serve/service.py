@@ -30,6 +30,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from .batcher import MicroBatcher
 from .cache import PredictionCache
 from .registry import ModelEntry, ModelRegistry
@@ -134,6 +135,8 @@ class InferenceService:
             latency_ms = (time.perf_counter() - state["t0"]) * 1e3
             self.telemetry.record(latency_ms, 0.0, 0, cached=True,
                                   energy_mj=0.0)
+            obs.counter("serve_requests", model=entry.name, outcome="hit")
+            obs.observe("serve_latency_ms", latency_ms, outcome="hit")
             return self._response(state["hit"], entry, cached=True,
                                   batch_size=0, queue_ms=0.0,
                                   latency_ms=latency_ms, energy_mj=0.0)
@@ -141,6 +144,7 @@ class InferenceService:
             item = state["future"].result()
         except Exception:
             self.telemetry.record_error()
+            obs.counter("serve_requests", model=entry.name, outcome="error")
             raise
         value = int(item.value)
         self.cache.put(state["key"], value)
@@ -148,6 +152,8 @@ class InferenceService:
         self.telemetry.record(latency_ms, item.queue_ms, item.batch_size,
                               cached=False,
                               energy_mj=entry.energy_mj_per_request)
+        obs.counter("serve_requests", model=entry.name, outcome="miss")
+        obs.observe("serve_latency_ms", latency_ms, outcome="miss")
         return self._response(value, entry, cached=False,
                               batch_size=item.batch_size,
                               queue_ms=item.queue_ms, latency_ms=latency_ms,
@@ -221,6 +227,7 @@ class InferenceService:
             "workers": self.workers,
             "active_batchers": active_batchers,
         }
+        payload["obs"] = obs.metrics.snapshot()
         return payload
 
     # -- lifecycle -------------------------------------------------------

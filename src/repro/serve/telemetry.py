@@ -151,3 +151,18 @@ class Telemetry:
                     self.energy_mj_total / self.requests
                     if self.requests else 0.0),
             }
+
+
+def merge_batch_histograms(histograms: Sequence[Dict[str, int]],
+                           ) -> Dict[str, int]:
+    """Sum per-process ``batch_size_histogram`` dicts (cluster totals).
+
+    Batch-size counts are exact counters keyed by integer size, so unlike
+    latency reservoirs they merge losslessly across workers.
+    """
+    merged: Counter = Counter()
+    for hist in histograms:
+        for size, count in (hist or {}).items():
+            merged[str(size)] += int(count)
+    return {size: merged[size]
+            for size in sorted(merged, key=lambda s: int(s))}

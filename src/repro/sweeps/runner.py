@@ -23,6 +23,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..analysis.aggregate import mean_metrics
 from ..experiments.runner import Runner, RunResult, new_run_id
 from .spec import SweepPoint, SweepSpec
@@ -117,31 +118,47 @@ class SweepRunner:
         summaries = self.store.summaries(sweep)
         results: List[PointResult] = []
         failed = False
-        for point in points:
-            entry = state.get(point.point_id, {})
-            if entry.get("status") == "complete" \
-                    and point.point_id in summaries:
-                if progress is not None:
-                    progress(f"point {point.point_id} ({point.label}): "
-                             "already complete")
-                results.append(PointResult(
-                    point=point, run_id=entry.get("run_id", ""),
-                    status="complete",
-                    summary=summaries[point.point_id], skipped=True))
-                continue
-            sweep, result = self._run_point(sweep, point, entry, progress)
-            summary = self._summarize_point(point, result)
-            self.store.append_summary(sweep, summary)
-            sweep = self.store.update_point(
-                sweep, point.point_id, status=result.status
-                if result.status in ("complete", "failed") else "failed")
-            failed = failed or result.status != "complete"
-            results.append(PointResult(
-                point=point, run_id=result.run_id, status=result.status,
-                summary=summary))
-            if progress is not None:
-                progress(f"point {point.point_id} ({point.label}): "
-                         f"{result.status}")
+        # The sweep trace holds one span per point; each child run writes
+        # its own trace.jsonl under its run directory as usual.
+        with obs.trace_bound(obs.trace_path_for(sweep.path)):
+            with obs.span("sweep", sweep_id=sweep.sweep_id,
+                          sweep_name=spec.name, points=len(points)):
+                for point in points:
+                    entry = state.get(point.point_id, {})
+                    if entry.get("status") == "complete" \
+                            and point.point_id in summaries:
+                        if progress is not None:
+                            progress(f"point {point.point_id} "
+                                     f"({point.label}): already complete")
+                        obs.event("sweep_point_skipped",
+                                  point_id=point.point_id)
+                        results.append(PointResult(
+                            point=point, run_id=entry.get("run_id", ""),
+                            status="complete",
+                            summary=summaries[point.point_id], skipped=True))
+                        continue
+                    with obs.span("sweep_point", point_id=point.point_id,
+                                  label=point.label) as sp:
+                        sweep, result = self._run_point(sweep, point, entry,
+                                                        progress)
+                        if sp is not None:
+                            sp.set(run_id=result.run_id,
+                                   status=result.status)
+                    summary = self._summarize_point(point, result)
+                    self.store.append_summary(sweep, summary)
+                    sweep = self.store.update_point(
+                        sweep, point.point_id, status=result.status
+                        if result.status in ("complete", "failed")
+                        else "failed")
+                    failed = failed or result.status != "complete"
+                    obs.counter("sweep_points_finished", sweep=spec.name,
+                                status=result.status)
+                    results.append(PointResult(
+                        point=point, run_id=result.run_id,
+                        status=result.status, summary=summary))
+                    if progress is not None:
+                        progress(f"point {point.point_id} ({point.label}): "
+                                 f"{result.status}")
         sweep = self.store.update_status(
             sweep, "failed" if failed else "complete")
         return SweepResult(sweep=sweep, points=results)
