@@ -17,7 +17,6 @@ of Section I and the knobs around them:
   streaming rate-coded spikes (Section III-D's motivation).
 """
 
-import numpy as np
 
 from repro.analysis import format_table
 from repro.core import (EMSTDPConfig, EMSTDPNetwork, bias_io_events,

@@ -19,7 +19,6 @@ assertions.
 
 import time
 
-import numpy as np
 
 from repro.core import EMSTDPConfig, EMSTDPNetwork
 

@@ -12,7 +12,6 @@ import numpy as np
 
 from repro.analysis import ascii_plot
 from repro.core import EMSTDPNetwork, full_precision_config
-from repro.data import load_dataset
 from repro.incremental import (IOLConfig, IncrementalOnlineLearner,
                                forgetting_dip, recovery)
 

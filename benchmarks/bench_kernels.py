@@ -53,7 +53,7 @@ def _cases(rng):
     shape = (32, 1024)
     drive = rng.uniform(0.0, 1.0, shape)
 
-    def if_step():
+    def case_if_step():
         v = np.zeros(shape)
         refrac = np.zeros(shape, dtype=np.int64)
         return lambda: kernels.if_step(v, refrac, drive, 1.0)
@@ -61,7 +61,7 @@ def _cases(rng):
     cshape = (32, 256)
     syn = rng.integers(0, 9000, cshape)
 
-    def cuba_step():
+    def case_cuba_step():
         u = np.zeros(cshape, dtype=np.int64)
         v = np.zeros(cshape, dtype=np.int64)
         refrac = np.zeros(cshape, dtype=np.int64)
@@ -71,7 +71,7 @@ def _cases(rng):
 
     spikes = rng.random(cshape) < 0.3
 
-    def trace_update():
+    def case_trace_update():
         values = np.zeros(cshape)
         return lambda: kernels.trace_update(values, spikes, 1, 1.0, 127)
 
@@ -80,7 +80,7 @@ def _cases(rng):
     h = rng.random(n_post)
     pre = rng.random(n_pre)
 
-    def delta_w():
+    def case_delta_w():
         return lambda: kernels.delta_w(h_hat, h, pre, 0.125)
 
     B, bn_pre, bn_post = 32, 512, 64
@@ -88,7 +88,7 @@ def _cases(rng):
     bh = rng.random((B, bn_post))
     bpre = rng.random((B, bn_pre))
 
-    def delta_w_batch():
+    def case_delta_w_batch():
         return lambda: kernels.delta_w_batch(bh_hat, bh, bpre, 0.125)
 
     S, D = 512, 64
@@ -99,16 +99,16 @@ def _cases(rng):
     tag = rng.integers(-255, 256, (S, D))
     w = rng.integers(-127, 128, (S, D))
 
-    def sum_of_products():
+    def case_sum_of_products():
         return lambda: kernels.sum_of_products(RULE, x0, x1, y0, y1, tag, w)
 
     return {
-        "if_step": (if_step, shape),
-        "cuba_step": (cuba_step, cshape),
-        "trace_update": (trace_update, cshape),
-        "delta_w": (delta_w, (n_pre, n_post)),
-        "delta_w_batch": (delta_w_batch, (B, bn_pre, bn_post)),
-        "sum_of_products": (sum_of_products, (S, D)),
+        "if_step": (case_if_step, shape),
+        "cuba_step": (case_cuba_step, cshape),
+        "trace_update": (case_trace_update, cshape),
+        "delta_w": (case_delta_w, (n_pre, n_post)),
+        "delta_w_batch": (case_delta_w_batch, (B, bn_pre, bn_post)),
+        "sum_of_products": (case_sum_of_products, (S, D)),
     }
 
 

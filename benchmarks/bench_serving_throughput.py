@@ -25,7 +25,6 @@ assertions, plus the /metrics shape checks (latency percentiles,
 batch-size histogram, cache stats, per-request energy estimate).
 """
 
-import numpy as np
 
 from repro.core import EMSTDPNetwork, full_precision_config
 from repro.serve import InferenceService, ModelRegistry, run_load, \

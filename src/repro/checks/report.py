@@ -1,0 +1,70 @@
+"""Reporters: one line per finding for humans, one document for CI.
+
+The text form is the compiler-style ``path:line:col RULE severity:
+message`` a terminal (and every editor's error-matcher) understands; the
+JSON form is the full :class:`~repro.checks.engine.CheckResult` as one
+stable document, which the CI ``checks`` job uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import CheckResult
+
+
+def render_text(result: CheckResult, verbose: bool = False) -> str:
+    """Compiler-style report; ``verbose`` also lists baselined findings."""
+    lines = []
+    for finding in result.findings:
+        lines.append(f"{finding.path}:{finding.line}:{finding.col} "
+                     f"{finding.rule} {finding.severity}: "
+                     f"{finding.message}")
+    if verbose:
+        for finding in result.baselined:
+            lines.append(f"{finding.path}:{finding.line}:{finding.col} "
+                         f"{finding.rule} baselined: {finding.message}")
+    for error in result.errors:
+        lines.append(f"error: {error}")
+    for entry in result.stale_baseline:
+        lines.append(f"stale baseline entry ({entry['count']}x): "
+                     f"{entry['rule']} {entry['path']}: "
+                     f"{entry['message']}")
+    summary = (f"{len(result.findings)} finding(s)"
+               f"{_suffix(result)} — {result.files_checked} files, "
+               f"rules {','.join(result.rules_run)}, "
+               f"{result.elapsed_s:.2f}s")
+    if lines:
+        lines.append("")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _suffix(result: CheckResult) -> str:
+    extras = []
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} baselined")
+    if result.stale_baseline:
+        stale = sum(e.get("count", 1) for e in result.stale_baseline)
+        extras.append(f"{stale} stale baseline entr"
+                      + ("y" if stale == 1 else "ies"))
+    if result.errors:
+        extras.append(f"{len(result.errors)} file error(s)")
+    return f" ({', '.join(extras)})" if extras else ""
+
+
+def render_json(result: CheckResult) -> str:
+    """The whole result as one JSON document (CI artifact format)."""
+    payload = {
+        "version": 1,
+        "tool": "repro.checks",
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "rules_run": result.rules_run,
+        "elapsed_s": round(result.elapsed_s, 4),
+        "findings": [f.to_dict() for f in result.findings],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "stale_baseline": list(result.stale_baseline),
+        "errors": list(result.errors),
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,110 @@
+"""REP000 — dead symbols (hidden advisory pass).
+
+An opt-in sweep (``--rule REP000``; never part of the default set) for
+the two cheap-to-detect forms of dead code that accumulate in a growing
+repo: imports nothing in the module references, and statements that sit
+after an unconditional ``return`` / ``raise`` / ``break`` / ``continue``
+in the same block.  It is advisory (severity ``warning``) and
+deliberately conservative:
+
+* ``__init__.py`` files are exempt — their imports *are* the re-export
+  surface;
+* names re-exported via ``__all__``, referenced from string annotations,
+  or imported as ``_`` (explicit discard) count as used;
+* ``from __future__ import ...`` is a directive, never dead;
+* a file that touches ``globals()``/``locals()``/``eval``/``exec`` is
+  skipped wholesale — name usage there is not statically knowable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Set
+
+from ..engine import FileContext, Finding, Rule, register
+
+_DYNAMIC_NAMES = {"globals", "locals", "eval", "exec", "vars"}
+_TERMINATORS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+_WORD_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+@register
+class DeadSymbolRule(Rule):
+    id = "REP000"
+    title = "dead symbol: unused import or unreachable statement"
+    rationale = ("dead imports misstate a module's dependencies and "
+                 "unreachable branches hide the code that actually runs")
+    severity = "warning"
+    hidden = True  # advisory: runs only with an explicit --rule REP000
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not ctx.is_test
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        if not ctx.is_init:
+            findings.extend(self._unused_imports(ctx))
+        findings.extend(self._unreachable(ctx))
+        return findings
+
+    # -- unused imports --------------------------------------------------
+
+    def _unused_imports(self, ctx: FileContext) -> Iterable[Finding]:
+        used: Set[str] = set()
+        dynamic = False
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name):
+                if node.id in _DYNAMIC_NAMES:
+                    dynamic = True
+                if isinstance(node.ctx, ast.Load):
+                    used.add(node.id)
+            elif isinstance(node, ast.Constant) \
+                    and isinstance(node.value, str):
+                # String annotations, __all__ entries, TypeVar bounds —
+                # any identifier-looking word inside a string literal
+                # keeps the import alive (conservative by construction).
+                used.update(_WORD_RE.findall(node.value))
+            elif isinstance(node, ast.Attribute):
+                used.add(node.attr)  # covers `import a.b; a.b.c` chains
+        if dynamic:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if bound != "_" and bound not in used:
+                        yield self.finding(
+                            ctx, node,
+                            f"import {alias.name!r} is never used")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    if bound != "_" and bound not in used:
+                        yield self.finding(
+                            ctx, node,
+                            f"'{alias.name}' imported from "
+                            f"{node.module or '.'!r} is never used")
+
+    # -- unreachable statements ------------------------------------------
+
+    def _unreachable(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            for field in ("body", "orelse", "finalbody"):
+                block = getattr(node, field, None)
+                if not isinstance(block, list):
+                    continue
+                for stmt, successor in zip(block, block[1:]):
+                    if isinstance(stmt, _TERMINATORS) \
+                            and isinstance(successor, ast.stmt):
+                        kind = type(stmt).__name__.lower()
+                        yield self.finding(
+                            ctx, successor,
+                            f"statement is unreachable: the block "
+                            f"already ended with '{kind}' on line "
+                            f"{stmt.lineno}")
+                        break  # one report per block is enough

@@ -1,0 +1,123 @@
+"""REP001 — determinism: no unseeded randomness or wall-clock reads.
+
+The paper's reproduction claims rest on every random stream being
+derivable from the seed stored in ``records.jsonl``.  One
+``np.random.default_rng()`` with no seed — or any call into the legacy
+global-state ``np.random.*`` / stdlib ``random.*`` APIs — silently
+breaks that: the run still "works", but can never be replayed.  Inside
+the deterministic zones, RNGs must arrive through
+``repro.seeding.as_rng`` (caller controls the seed) or carry an explicit
+seed expression; timestamps in results come from the orchestration
+layer, so ``time.time()`` has no business in model math either
+(``time.monotonic()`` / ``time.perf_counter()`` remain fine for
+durations).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..engine import FileContext, Finding, Rule, register
+from . import dotted
+
+#: Module prefixes where the rule is enforced (the model/data/orchestration
+#: layers whose outputs land in run records).
+DETERMINISTIC_MODULES = (
+    "repro.core", "repro.loihi", "repro.data", "repro.experiments",
+    "repro.sweeps", "repro.incremental",
+)
+
+#: Legacy global-state numpy RNG entry points (always order-dependent).
+_NP_RANDOM_FUNCS = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "normal", "uniform",
+    "standard_normal", "poisson", "binomial", "exponential", "beta",
+    "gamma", "seed", "get_state", "set_state", "bytes", "integers",
+}
+
+#: Stdlib ``random`` module functions (all share hidden global state).
+_STDLIB_RANDOM_FUNCS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "seed", "gauss", "normalvariate",
+    "betavariate", "expovariate", "getrandbits", "triangular",
+}
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+@register
+class DeterminismRule(Rule):
+    id = "REP001"
+    title = "unseeded randomness / wall-clock in deterministic code"
+    rationale = ("every random stream must be reproducible from the "
+                 "recorded seed; route RNGs through repro.seeding.as_rng "
+                 "or seed them explicitly")
+    severity = "error"
+
+    def applies(self, ctx: FileContext) -> bool:
+        if ctx.is_test:
+            return False
+        if any(ctx.module == m or ctx.module.startswith(m + ".")
+               for m in DETERMINISTIC_MODULES):
+            return True
+        # Benchmarks and examples feed committed BENCH_*.json numbers and
+        # documented walkthroughs — both must replay exactly too.
+        return ctx.in_dirs("benchmarks", "examples")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted(node.func)
+            if name is None:
+                continue
+            findings.extend(self._check_call(ctx, node, name))
+        return findings
+
+    def _check_call(self, ctx: FileContext, node: ast.Call,
+                    name: str) -> Iterable[Finding]:
+        parts = name.split(".")
+        # np.random.default_rng() / numpy.random.default_rng(None)
+        if parts[-1] == "default_rng" and len(parts) >= 2 \
+                and parts[-2] == "random":
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    ctx, node,
+                    "np.random.default_rng() without a seed is not "
+                    "reproducible; use repro.seeding.as_rng(seed) or "
+                    "pass an explicit seed expression")
+            elif node.args and _is_none(node.args[0]):
+                yield self.finding(
+                    ctx, node,
+                    "np.random.default_rng(None) draws OS entropy; use "
+                    "repro.seeding.as_rng(seed) or an explicit seed")
+            return
+        # Legacy global-state numpy API: np.random.rand(...), seed(...)
+        if len(parts) == 3 and parts[0] in ("np", "numpy") \
+                and parts[1] == "random" and parts[2] in _NP_RANDOM_FUNCS:
+            yield self.finding(
+                ctx, node,
+                f"np.random.{parts[2]}() uses the hidden global RNG "
+                "state; draw from a Generator obtained via "
+                "repro.seeding.as_rng instead")
+            return
+        # Stdlib random module: random.random(), random.shuffle(...)
+        if len(parts) == 2 and parts[0] == "random" \
+                and parts[1] in _STDLIB_RANDOM_FUNCS:
+            yield self.finding(
+                ctx, node,
+                f"random.{parts[1]}() uses the process-global stdlib "
+                "RNG; use a seeded numpy Generator via "
+                "repro.seeding.as_rng instead")
+            return
+        # Wall clock inside deterministic code.
+        if name == "time.time":
+            yield self.finding(
+                ctx, node,
+                "time.time() makes results depend on the wall clock; "
+                "timestamps belong to the run store — use "
+                "time.monotonic()/perf_counter() for durations")

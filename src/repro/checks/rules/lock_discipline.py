@@ -1,0 +1,181 @@
+"""REP003 — lock discipline: ``# guarded-by:`` annotated state.
+
+A lightweight static race detector for the serve/cluster/obs tier.  An
+attribute whose *defining* assignment carries a marker comment
+
+.. code-block:: python
+
+    self._entries = OrderedDict()  # guarded-by: _lock
+
+may afterwards only be read or written inside a ``with self._lock:``
+block in the same class.  The ``[writes]`` variant relaxes reads for
+deliberately lock-free-read structures (the metrics registry's
+GIL-riding write path):
+
+.. code-block:: python
+
+    self._histograms = {}  # guarded-by: _create_lock [writes]
+
+Scope and honesty limits, by design: accesses from *other* classes are
+not tracked (annotate the owning class's accessor instead), a method
+call on a guarded attribute counts as a read (``self._entries.pop(...)``
+is a Load of ``self._entries``), and a lock held by a caller is not
+visible — hold the lock in the method that touches the field, which is
+the convention this repo already follows.  ``__init__`` is exempt: the
+object is not shared during construction.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, NamedTuple, Set
+
+from ..engine import FileContext, Finding, Rule, register
+from . import dotted
+
+_GUARD_RE = re.compile(
+    r"#\s*guarded-by:\s*(?:self\.)?(?P<lock>\w+)"
+    r"\s*(?P<writes>\[writes\])?")
+
+
+class _Guard(NamedTuple):
+    lock: str
+    writes_only: bool
+    decl_line: int
+
+
+@register
+class LockDisciplineRule(Rule):
+    id = "REP003"
+    title = "guarded attribute accessed outside its lock"
+    rationale = ("fields annotated '# guarded-by: <lock>' are shared "
+                 "across threads; touching one without the lock is a "
+                 "data race waiting for load")
+    severity = "error"
+
+    def applies(self, ctx: FileContext) -> bool:
+        # The annotations concentrate in serve/cluster/obs, but the rule
+        # is cheap and correct anywhere an annotation appears.
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        annotated_lines = {line for line, comment in ctx.comments.items()
+                           if _GUARD_RE.search(comment)}
+        if not annotated_lines:
+            return findings
+        claimed: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(ctx, node, claimed))
+        for line in sorted(annotated_lines - claimed):
+            findings.append(Finding(
+                rule=self.id, severity=self.severity, path=ctx.rel,
+                line=line, col=0,
+                message="'# guarded-by:' marker is not attached to a "
+                        "self-attribute assignment inside a class (put "
+                        "it on the defining line or the line above)"))
+        return findings
+
+    # -- per class -------------------------------------------------------
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef,
+                     claimed: Set[int]) -> Iterable[Finding]:
+        guards = self._collect_guards(ctx, cls, claimed)
+        if not guards:
+            return []
+        findings: List[Finding] = []
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name == "__init__":
+                continue  # construction: the object is not shared yet
+            self._walk(ctx, stmt.body, guards, frozenset(), findings)
+        return findings
+
+    def _collect_guards(self, ctx: FileContext, cls: ast.ClassDef,
+                        claimed: Set[int]) -> Dict[str, _Guard]:
+        """Map attr name -> guard for every annotated ``self.X = ...``."""
+        guards: Dict[str, _Guard] = {}
+        for method in cls.body:
+            if not isinstance(method,
+                              (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for stmt in ast.walk(method):
+                if isinstance(stmt, ast.Assign):
+                    targets = stmt.targets
+                elif isinstance(stmt, ast.AnnAssign):
+                    targets = [stmt.target]
+                else:
+                    continue
+                marker = self._marker_for(ctx, stmt.lineno)
+                if marker is None:
+                    continue
+                line, m = marker
+                for target in targets:
+                    if isinstance(target, ast.Attribute) \
+                            and isinstance(target.value, ast.Name) \
+                            and target.value.id == "self":
+                        claimed.add(line)
+                        guards[target.attr] = _Guard(
+                            lock=m.group("lock"),
+                            writes_only=m.group("writes") is not None,
+                            decl_line=stmt.lineno)
+        return guards
+
+    @staticmethod
+    def _marker_for(ctx: FileContext, lineno: int):
+        """The guard marker on ``lineno`` or alone on the line above."""
+        for line in (lineno, lineno - 1):
+            comment = ctx.comments.get(line)
+            if comment is None:
+                continue
+            m = _GUARD_RE.search(comment)
+            if m is None:
+                continue
+            if line == lineno - 1 \
+                    and ctx.lines[line - 1].split("#")[0].strip():
+                continue  # the line above is code with its own comment
+            return line, m
+        return None
+
+    # -- lock-aware walk -------------------------------------------------
+
+    def _walk(self, ctx: FileContext, body: List[ast.stmt],
+              guards: Dict[str, _Guard], held: frozenset,
+              findings: List[Finding]) -> None:
+        for stmt in body:
+            self._visit(ctx, stmt, guards, held, findings)
+
+    def _visit(self, ctx: FileContext, node: ast.AST,
+               guards: Dict[str, _Guard], held: frozenset,
+               findings: List[Finding]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set()
+            for item in node.items:
+                name = dotted(item.context_expr)
+                if name is not None and name.startswith("self."):
+                    acquired.add(name[len("self."):])
+                # guard against `with self._lock_a, self._lock_b:` too
+            for item in node.items:
+                self._visit(ctx, item.context_expr, guards, held, findings)
+            self._walk(ctx, node.body, guards,
+                       held | frozenset(acquired), findings)
+            return
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self" and node.attr in guards:
+            guard = guards[node.attr]
+            is_write = isinstance(node.ctx, (ast.Store, ast.Del))
+            if guard.lock not in held \
+                    and (is_write or not guard.writes_only):
+                kind = "written" if is_write else "read"
+                findings.append(self.finding(
+                    ctx, node,
+                    f"self.{node.attr} is guarded by self.{guard.lock} "
+                    f"(declared at line {guard.decl_line}) but {kind} "
+                    f"outside 'with self.{guard.lock}:'"))
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(ctx, child, guards, held, findings)

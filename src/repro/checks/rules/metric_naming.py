@@ -1,0 +1,126 @@
+"""REP005 — metric naming for the ``obs`` registry.
+
+The Prometheus exposition layer (``repro.obs.prom``) owns the
+``repro_`` namespace prefix and appends ``_total`` to counters at render
+time.  A source literal that already carries either gets *doubled* on
+the wire (``repro_repro_...``, ``..._total_total``) — and a name that is
+not snake_case, or a label set that is unbounded or reserved, breaks
+every dashboard query written against the documented series.  Scraping
+only catches this after deploy; the rule catches it at the call site:
+
+* metric names passed as static literals to ``obs.counter`` /
+  ``obs.gauge`` / ``obs.observe`` (and the underlying registry methods
+  ``inc`` / ``set_gauge`` / ``observe``) must be snake_case, without the
+  ``repro_`` prefix, and counters without a ``_total`` suffix;
+* label keyword names must be snake_case, not Prometheus-reserved
+  (``le``, ``quantile``, ``__*``), and at most ``MAX_LABELS`` per call
+  site (label cardinality is a memory commitment in every scraper).
+
+Dynamic names (f-strings, variables) are skipped — the runtime
+``prom.lint()`` validator still covers those.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List
+
+from ..engine import FileContext, Finding, Rule, register
+from . import dotted
+
+_SNAKE_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: call-attribute name -> metric family it creates.
+METRIC_CALLS = {
+    "counter": "counter", "inc": "counter",
+    "gauge": "gauge", "set_gauge": "gauge",
+    "observe": "histogram",
+}
+
+#: receivers whose methods above are metric calls (module alias or the
+#: registry object; ``self.metrics`` style instances included).
+RECEIVER_TAILS = {"obs", "metrics"}
+
+#: keyword arguments that are call parameters, not labels.
+NON_LABEL_KWARGS = {"value", "buckets"}
+
+#: Prometheus-reserved label names a user series may never set.
+RESERVED_LABELS = {"le", "quantile", "job", "instance"}
+
+#: bounded-label-set ceiling per call site.
+MAX_LABELS = 5
+
+
+@register
+class MetricNamingRule(Rule):
+    id = "REP005"
+    title = "obs metric name/labels violate the naming contract"
+    rationale = ("prom.py adds the repro_ prefix and the counter _total "
+                 "suffix at render time; literals carrying them double "
+                 "up on the wire, and bad labels break every query")
+    severity = "error"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not ctx.is_test
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) \
+                    or not isinstance(node.func, ast.Attribute):
+                continue
+            family = METRIC_CALLS.get(node.func.attr)
+            if family is None:
+                continue
+            receiver = dotted(node.func.value)
+            if receiver is None \
+                    or receiver.split(".")[-1] not in RECEIVER_TAILS:
+                continue
+            findings.extend(self._check_site(ctx, node, family))
+        return findings
+
+    def _check_site(self, ctx: FileContext, call: ast.Call,
+                    family: str) -> Iterable[Finding]:
+        name_node = call.args[0] if call.args else None
+        if isinstance(name_node, ast.Constant) \
+                and isinstance(name_node.value, str):
+            name = name_node.value
+            if not _SNAKE_RE.match(name):
+                yield self.finding(
+                    ctx, name_node,
+                    f"metric name {name!r} is not snake_case "
+                    f"([a-z][a-z0-9_]*)")
+            if name.startswith("repro_"):
+                yield self.finding(
+                    ctx, name_node,
+                    f"metric name {name!r} hardcodes the 'repro_' "
+                    f"namespace; prom.py adds it at render time")
+            if family == "counter" and name.endswith("_total"):
+                yield self.finding(
+                    ctx, name_node,
+                    f"counter {name!r} hardcodes the '_total' suffix; "
+                    f"prom.py appends it at render time")
+        labels = [kw for kw in call.keywords
+                  if kw.arg is not None and kw.arg not in NON_LABEL_KWARGS]
+        for kw in labels:
+            if kw.arg in RESERVED_LABELS or kw.arg.startswith("__"):
+                yield self.finding(
+                    ctx, kw.value,
+                    f"label {kw.arg!r} is reserved by Prometheus "
+                    f"conventions and may not be set by a series")
+            elif not _SNAKE_RE.match(kw.arg):
+                yield self.finding(
+                    ctx, kw.value,
+                    f"label name {kw.arg!r} is not snake_case")
+        if len(labels) > MAX_LABELS:
+            yield self.finding(
+                ctx, call,
+                f"{len(labels)} labels on one series (max {MAX_LABELS}); "
+                f"label cardinality is a per-scraper memory commitment")
+        for kw in call.keywords:
+            if kw.arg is None:  # **labels — unbounded label set
+                yield self.finding(
+                    ctx, call,
+                    "**-expanded labels make the label set unbounded; "
+                    "pass a fixed set of keyword labels")

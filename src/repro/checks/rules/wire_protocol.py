@@ -1,0 +1,259 @@
+"""REP004 — wire-protocol consistency between cluster processes.
+
+The front end, supervisor, and workers talk over pipes in plain
+``(kind, msg_id, payload)`` tuples; nothing at runtime validates them
+until a worker answers ``400 unknown message kind`` or a handler
+``KeyError``s on a missing payload field — across a process boundary,
+at the worst possible time.  ``cluster/protocol.py`` therefore declares
+the contract twice: once as prose, once as the machine-readable
+``MESSAGES`` dict.  This rule folds that dict out of the protocol
+module's AST (no import — the checker never executes repo code) and
+verifies every send site in ``worker.py`` / ``frontend.py`` /
+``supervisor.py`` against it:
+
+* ``*.send((...))`` tuples have exactly three elements;
+* the ``kind`` element resolves to a declared message kind (via
+  ``protocol.X`` / ``X`` constants or a string literal);
+* a *literal* payload dict carries every required key and nothing
+  outside the allowed set.  Payloads built dynamically (``self.stats()``,
+  a parameter) are skipped — but a dict literal bound to a local name in
+  the same function is chased one hop, which covers the front end's
+  ``body = {...}; self._roundtrip(kind, body)`` idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..engine import FileContext, Finding, Rule, register
+from . import dotted
+
+#: Modules whose send sites are checked (the three cluster processes).
+CHECKED_MODULES = {
+    "repro.cluster.worker", "repro.cluster.frontend",
+    "repro.cluster.supervisor",
+}
+
+#: Call-attribute names that carry a protocol message.
+#: ``send`` takes the whole tuple; the request-shaped ones take
+#: ``(kind, payload)`` as their first two arguments.
+SEND_ATTRS = {"send"}
+REQUEST_ATTRS = {"request", "_roundtrip"}
+
+_Spec = Optional[Tuple[Tuple[str, ...], Tuple[str, ...]]]
+
+
+class _Protocol:
+    """The MESSAGES contract, folded from protocol.py's AST."""
+
+    def __init__(self, constants: Dict[str, str],
+                 messages: Dict[str, _Spec]):
+        self.constants = constants  # constant name -> kind string
+        self.messages = messages    # kind string -> spec
+
+    @classmethod
+    def parse(cls, source: str) -> "_Protocol":
+        tree = ast.parse(source)
+        constants: Dict[str, str] = {}
+        messages: Dict[str, _Spec] = {}
+        for stmt in tree.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) \
+                        and isinstance(stmt.value, ast.Constant) \
+                        and isinstance(stmt.value.value, str):
+                    constants[target.id] = stmt.value.value
+                elif isinstance(target, ast.Tuple) \
+                        and isinstance(stmt.value, ast.Tuple) \
+                        and len(target.elts) == len(stmt.value.elts):
+                    for name, value in zip(target.elts, stmt.value.elts):
+                        if isinstance(name, ast.Name) \
+                                and isinstance(value, ast.Constant) \
+                                and isinstance(value.value, str):
+                            constants[name.id] = value.value
+                elif isinstance(target, ast.Name) \
+                        and target.id == "MESSAGES" \
+                        and isinstance(stmt.value, ast.Dict):
+                    cls._fold_messages(stmt.value, constants, messages)
+        return cls(constants, messages)
+
+    @staticmethod
+    def _fold_messages(node: ast.Dict, constants: Dict[str, str],
+                       messages: Dict[str, _Spec]) -> None:
+        for key, value in zip(node.keys, node.values):
+            if isinstance(key, ast.Name) and key.id in constants:
+                kind = constants[key.id]
+            elif isinstance(key, ast.Constant) \
+                    and isinstance(key.value, str):
+                kind = key.value
+            else:
+                continue
+            if isinstance(value, ast.Constant) and value.value is None:
+                messages[kind] = None
+            elif isinstance(value, ast.Tuple) and len(value.elts) == 2:
+                folded = []
+                for elt in value.elts:
+                    if not isinstance(elt, ast.Tuple):
+                        break
+                    keys = tuple(e.value for e in elt.elts
+                                 if isinstance(e, ast.Constant)
+                                 and isinstance(e.value, str))
+                    if len(keys) != len(elt.elts):
+                        break
+                    folded.append(keys)
+                if len(folded) == 2:
+                    messages[kind] = (folded[0], folded[1])
+
+
+@register
+class WireProtocolRule(Rule):
+    id = "REP004"
+    title = "cluster message disagrees with the protocol contract"
+    rationale = ("a malformed pipe tuple only fails inside another "
+                 "process; protocol.MESSAGES is the single source of "
+                 "truth for kinds, arity, and payload fields")
+    severity = "error"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.module in CHECKED_MODULES
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        proto = self._load_protocol(ctx)
+        if proto is None or not proto.messages:
+            return []
+        findings: List[Finding] = []
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            bindings = self._dict_bindings(func)
+            for node in ast.walk(func):
+                if isinstance(node, ast.Call) \
+                        and isinstance(node.func, ast.Attribute):
+                    if node.func.attr in SEND_ATTRS:
+                        self._check_send(ctx, proto, node, bindings,
+                                         findings)
+                    elif node.func.attr in REQUEST_ATTRS:
+                        self._check_request(ctx, proto, node, bindings,
+                                            findings)
+        return findings
+
+    # -- protocol loading ------------------------------------------------
+
+    def _load_protocol(self, ctx: FileContext) -> Optional[_Protocol]:
+        if ctx.real_path is None:
+            return None
+        candidate = ctx.real_path.parent / "protocol.py"
+        try:
+            source = candidate.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            return _Protocol.parse(source)
+        except SyntaxError:
+            return None
+
+    # -- local helpers ---------------------------------------------------
+
+    @staticmethod
+    def _dict_bindings(func: ast.AST) -> Dict[str, ast.Dict]:
+        """Local names bound to a dict literal anywhere in ``func``."""
+        bindings: Dict[str, ast.Dict] = {}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) \
+                    and isinstance(node.value, ast.Dict):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        bindings[target.id] = node.value
+        return bindings
+
+    def _resolve_kind(self, proto: _Protocol,
+                      node: ast.AST) -> Tuple[Optional[str], Optional[str]]:
+        """-> (kind string, unresolved constant name) — one side is None."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value, None
+        name = dotted(node)
+        if name is None:
+            return None, None  # a parameter / computed expression: skip
+        tail = name.split(".")[-1]
+        if tail in proto.constants:
+            return proto.constants[tail], None
+        if name.split(".")[0] == "protocol" or tail.isupper():
+            return None, name  # looks like a constant but is not declared
+        return None, None
+
+    # -- the checks ------------------------------------------------------
+
+    def _check_send(self, ctx: FileContext, proto: _Protocol,
+                    call: ast.Call, bindings: Dict[str, ast.Dict],
+                    findings: List[Finding]) -> None:
+        if len(call.args) != 1:
+            return  # not the pipe idiom (e.g. socket.send(bytes))
+        arg = call.args[0]
+        if not isinstance(arg, ast.Tuple):
+            return  # forwarding a prebuilt message: cannot resolve
+        if len(arg.elts) != 3:
+            findings.append(self.finding(
+                ctx, arg,
+                f"protocol tuple has {len(arg.elts)} elements, expected "
+                f"3: (kind, msg_id, payload)"))
+            return
+        kind_node, _msg_id, payload = arg.elts
+        self._check_message(ctx, proto, kind_node, payload, bindings,
+                            findings)
+
+    def _check_request(self, ctx: FileContext, proto: _Protocol,
+                       call: ast.Call, bindings: Dict[str, ast.Dict],
+                       findings: List[Finding]) -> None:
+        if not call.args:
+            return
+        payload = call.args[1] if len(call.args) > 1 else None
+        self._check_message(ctx, proto, call.args[0], payload, bindings,
+                            findings)
+
+    def _check_message(self, ctx: FileContext, proto: _Protocol,
+                       kind_node: ast.AST, payload: Optional[ast.AST],
+                       bindings: Dict[str, ast.Dict],
+                       findings: List[Finding]) -> None:
+        kind, bad_name = self._resolve_kind(proto, kind_node)
+        if bad_name is not None:
+            findings.append(self.finding(
+                ctx, kind_node,
+                f"{bad_name} is not a message kind declared in "
+                f"cluster/protocol.py"))
+            return
+        if kind is None:
+            return
+        if kind not in proto.messages:
+            findings.append(self.finding(
+                ctx, kind_node,
+                f"message kind {kind!r} is not declared in "
+                f"protocol.MESSAGES"))
+            return
+        spec = proto.messages[kind]
+        if spec is None or payload is None:
+            return  # free-form payload, or a bare-kind call form
+        if isinstance(payload, ast.Name):
+            payload = bindings.get(payload.id)
+        if not isinstance(payload, ast.Dict):
+            return  # built dynamically: out of static reach
+        keys = []
+        for key in payload.keys:
+            if key is None:  # **expansion: give up on this literal
+                return
+            if not (isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)):
+                return
+            keys.append(key.value)
+        required, allowed = spec
+        for missing in sorted(set(required) - set(keys)):
+            findings.append(self.finding(
+                ctx, payload,
+                f"{kind!r} payload is missing required field "
+                f"{missing!r} (see protocol.MESSAGES)"))
+        for extra in sorted(set(keys) - set(allowed)):
+            findings.append(self.finding(
+                ctx, payload,
+                f"{kind!r} payload has undeclared field {extra!r} "
+                f"(allowed: {', '.join(allowed) or 'none'})"))

@@ -40,6 +40,10 @@ Subcommands::
         per-kernel timing across worker processes, top-N slowest spans.
     trace show <run_id|sweep_id|path>
         The full span tree of a trace, with events, durations and pids.
+    check [paths] [--rule REPNNN] [--json] [--baseline FILE]
+        Repo-native static analyzer (``repro.checks``): determinism,
+        kernel boundaries, lock discipline, wire protocol, metric
+        naming.  Exit 1 on any non-baselined finding.
 
 All table output renders through :mod:`repro.analysis.reporting`, the same
 dependency-free formatter the benchmarks use.
@@ -58,7 +62,6 @@ from .analysis.aggregate import (axis_tables, best_point, mean_metrics,
 from .analysis.reporting import format_table
 from .experiments import Runner, RunStore, get_scenario
 from .experiments.scenarios import SCENARIOS
-from .experiments.store import RunInfo
 
 EPILOG = """examples:
   python -m repro run offline_accuracy --tiny --seeds 2
@@ -73,6 +76,8 @@ EPILOG = """examples:
   python -m repro cluster ckpt/model --workers 4 # supervised worker pool
   python -m repro trace summary <run_id>         # span + kernel timing
   python -m repro trace show <run_id>            # full span tree
+  python -m repro check                          # lint src benchmarks examples
+  python -m repro check src --rule REP003 --json # one rule, CI artifact form
 """
 
 
@@ -225,6 +230,32 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--out", default="runs",
                          help="run-store root used to resolve run ids")
 
+    check = sub.add_parser(
+        "check", help="repo-native static analyzer (determinism, locks, "
+                      "kernel boundary, wire protocol, metric naming)")
+    check.add_argument("paths", nargs="*", metavar="path",
+                       help="files or directories to analyze (default: "
+                            "src benchmarks examples under the repo root)")
+    check.add_argument("--rule", action="append", default=[],
+                       metavar="REPNNN", dest="rules",
+                       help="run only this rule (repeatable; also the "
+                            "only way to run hidden advisory rules like "
+                            "REP000)")
+    check.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the full result as one JSON document "
+                            "(the CI artifact format)")
+    check.add_argument("--baseline", default=None, metavar="FILE",
+                       help="baseline file of grandfathered findings "
+                            "(default: .repro-checks-baseline.json at "
+                            "the repo root)")
+    check.add_argument("--write-baseline", action="store_true",
+                       help="re-write the baseline from the current "
+                            "findings instead of failing on them")
+    check.add_argument("--verbose", action="store_true",
+                       help="also list baselined findings in the report")
+    check.add_argument("--list-rules", action="store_true",
+                       help="describe every registered rule and exit")
+
     trace = sub.add_parser(
         "trace", help="inspect a run's trace.jsonl (spans, kernels)")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -261,6 +292,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "cluster":
             return _cmd_cluster(args)
+        if args.command == "check":
+            return _cmd_check(args)
         if args.command == "trace":
             return _cmd_trace(args)
     except KeyError as exc:
@@ -712,6 +745,53 @@ def _cmd_cluster(args) -> int:
             print("warning: drain timed out with requests still in flight",
                   file=sys.stderr)
     return 1 if not drained else 0
+
+
+# ---------------------------------------------------------------------------
+# check
+# ---------------------------------------------------------------------------
+
+def _cmd_check(args) -> int:
+    from pathlib import Path
+
+    from . import checks
+
+    if args.list_rules:
+        print(format_table(
+            ["rule", "severity", "default", "title"],
+            [[r.id, r.severity, "no (hidden)" if r.hidden else "yes",
+              r.title] for r in checks.all_rules()],
+            title="repro.checks rules "
+                  "(suppress one line with '# repro: ignore[RULE]')"))
+        return 0
+    root = checks.find_repo_root(Path.cwd())
+    paths = args.paths or [p for p in ("src", "benchmarks", "examples")
+                           if (root / p).is_dir()]
+    try:
+        rules = checks.get_rules(args.rules or None)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else root / checks.BASELINE_NAME)
+    try:
+        entries = ([] if args.write_baseline
+                   else checks.load_baseline(baseline_path))
+        result = checks.run_checks(paths, rules=rules, baseline=entries,
+                                   root=root)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        checks.save_baseline(baseline_path, result.findings)
+        print(f"baseline: {len(result.findings)} finding(s) written to "
+              f"{baseline_path}")
+        return 0
+    if args.as_json:
+        print(checks.render_json(result))
+    else:
+        print(checks.render_text(result, verbose=args.verbose))
+    return 0 if result.ok else 1
 
 
 # ---------------------------------------------------------------------------

@@ -68,7 +68,7 @@ class ClusterService:
         self.max_inflight_per_worker = int(max_inflight_per_worker)
         self.request_timeout_s = float(request_timeout_s)
         self.telemetry = Telemetry()
-        self._rejected = 0
+        self._rejected = 0  # guarded-by: _count_lock
         self._count_lock = threading.Lock()
 
     # -- routing ---------------------------------------------------------

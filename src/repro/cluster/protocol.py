@@ -39,6 +39,26 @@ READY, HEARTBEAT, FATAL, RESPONSE = "ready", "hb", "fatal", "resp"
 PREDICT, PREDICT_MANY, METRICS, SWAP, DRAIN = (
     "predict", "predict_many", "metrics", "swap", "drain")
 
+#: Declarative payload contract per message kind, checked statically by
+#: ``repro.checks`` rule REP004 against every send site in worker.py /
+#: frontend.py / supervisor.py.  Each value is either ``None`` (payload
+#: is free-form, e.g. a stats snapshot) or a pair
+#: ``(required_keys, allowed_keys)`` — every literal payload dict must
+#: carry all required keys and nothing outside the allowed set.  Keep
+#: this in lockstep with the prose contract in the module docstring.
+MESSAGES = {
+    PREDICT: (("input",), ("input", "model", "version", "use_cache")),
+    PREDICT_MANY: (("inputs",),
+                   ("inputs", "model", "version", "use_cache")),
+    METRICS: ((), ()),
+    SWAP: (("source",), ("source", "store_root")),
+    DRAIN: ((), ()),
+    READY: None,      # free-form worker stats snapshot
+    HEARTBEAT: None,  # free-form worker stats snapshot
+    FATAL: (("error",), ("error",)),
+    RESPONSE: (("ok",), ("ok", "value", "status", "error")),
+}
+
 
 @dataclasses.dataclass(frozen=True)
 class WorkerSpec:

@@ -85,13 +85,13 @@ class WorkerHandle:
         self.draining = False
 
         self._lock = threading.Lock()
-        self._state = "starting"  # -> "ready" -> "dead"
+        self._state = "starting"  # guarded-by: _lock ("starting" -> "ready" -> "dead")
         self._ready = threading.Event()
         self._exited = threading.Event()
         self._msg_ids = itertools.count(1)
-        self._pending: Dict[int, Future] = {}
-        self._inflight = 0
-        self.dispatched = 0
+        self._pending: Dict[int, Future] = {}  # guarded-by: _lock
+        self._inflight = 0  # guarded-by: _lock
+        self.dispatched = 0  # guarded-by: _lock
         self._reader = threading.Thread(
             target=self._read_loop, name=f"cluster-reader-{slot}",
             daemon=True)
@@ -315,7 +315,7 @@ class Supervisor:
         self.started_at = time.monotonic()
         self._ctx = multiprocessing.get_context(start_method)
         self._spec_lock = threading.Lock()
-        self._spec = spec
+        self._spec = spec  # guarded-by: _spec_lock
         self._slots = [_Slot(i) for i in range(self.n_workers)]
         self._stopping = threading.Event()
         self._monitor: Optional[threading.Thread] = None

@@ -52,7 +52,7 @@ class _Worker:
             workers=spec.batch_workers)
         self._send_lock = threading.Lock()
         self._stop = threading.Event()
-        self._inflight = 0
+        self._inflight = 0  # guarded-by: _inflight_lock
         self._inflight_lock = threading.Lock()
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, spec.handler_threads),

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..seeding import as_rng
+
 
 def as_sample_batch(X, n_features: int) -> np.ndarray:
     """Coerce input to a ``(B, n_features)`` float block.
@@ -76,8 +78,7 @@ def rate_encode_spikes(x: np.ndarray, T: int, rng: np.random.Generator = None,
         acc = steps * q[None, :] + 1e-9
         train = np.floor(acc) - np.floor(acc - q[None, :])
         return (train > 0).astype(np.int8)
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = as_rng(rng)
     return (rng.random((T, x.size)) < q[None, :]).astype(np.int8)
 
 

@@ -22,6 +22,7 @@ from typing import Optional
 import numpy as np
 
 from . import kernels
+from ..seeding import as_rng
 from .quantize import quantize_weights
 
 
@@ -101,7 +102,7 @@ class WeightUpdater:
         self.weight_bits = weight_bits
         self.weight_clip = weight_clip
         self.stochastic_rounding = bool(stochastic_rounding)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = as_rng(rng)
 
     def apply(self, w: np.ndarray, h_hat_post: np.ndarray, h_post: np.ndarray,
               h_pre: np.ndarray) -> np.ndarray:

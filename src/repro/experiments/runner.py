@@ -23,7 +23,7 @@ import uuid
 from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
                                 as_completed)
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from .. import obs
 from .spec import ExperimentSpec

@@ -14,6 +14,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..seeding import as_rng
+
 
 class ReplayStore:
     """Class-balanced reservoir of past observations."""
@@ -23,7 +25,7 @@ class ReplayStore:
         if per_class_capacity < 1:
             raise ValueError("per_class_capacity must be >= 1")
         self.per_class_capacity = int(per_class_capacity)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = as_rng(rng)
         self._pools: Dict[int, List[np.ndarray]] = defaultdict(list)
         self._seen: Dict[int, int] = defaultdict(int)
 

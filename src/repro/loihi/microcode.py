@@ -41,6 +41,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core import kernels
+from ..seeding import as_rng
 from .synapse import ConnectionGroup, TAG_MAX, WEIGHT_MANT_MAX
 
 _VARIABLES = ("x0", "x1", "y0", "y1", "t", "w")
@@ -188,7 +189,7 @@ class LearningEngine:
             self.rng = self.rngs[0]
         else:
             self.rngs = None
-            self.rng = rng if rng is not None else np.random.default_rng()
+            self.rng = as_rng(rng)
         self.stochastic_rounding = bool(stochastic_rounding)
 
     def evaluate(self, rule: SumOfProducts, conn: ConnectionGroup) -> np.ndarray:

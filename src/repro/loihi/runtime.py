@@ -19,10 +19,11 @@ that the energy model turns into Table II / Fig. 3 rows.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from ..seeding import as_rng
 from .compartment import CompartmentGroup
 from .energy import RunStats
 from .mapping import Mapping, shard_groups
@@ -49,8 +50,7 @@ def _replica_engine(network: Network, rng, stochastic_rounding: bool,
                                   stochastic_rounding=stochastic_rounding)
         return LearningEngine(rngs=list(rng),
                               stochastic_rounding=stochastic_rounding)
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = as_rng(rng)
     if replicas == 1:
         return LearningEngine(rng=rng,
                               stochastic_rounding=stochastic_rounding)

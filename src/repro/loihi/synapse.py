@@ -12,7 +12,6 @@ counters.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -19,7 +19,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from .topology import ConvSpec, DenseSpec, InputSpec, parse_topology
+from .topology import ConvSpec, DenseSpec, parse_topology
 
 
 def im2col(x: np.ndarray, kernel: int, stride: int) -> Tuple[np.ndarray, int, int]:

@@ -71,8 +71,9 @@ class MetricsRegistry:
         self.enabled = bool(enabled)
         self._counters: Dict[Key, float] = {}
         self._gauges: Dict[Key, float] = {}
-        self._histograms: Dict[Key, _Histogram] = {}
-        # Only histogram *creation* takes the lock; observes ride the GIL.
+        # Only histogram *creation* takes the lock; observes (and the
+        # snapshot read path) deliberately ride the GIL, hence [writes].
+        self._histograms: Dict[Key, _Histogram] = {}  # guarded-by: _create_lock [writes]
         self._create_lock = threading.Lock()
 
     # -- write path ------------------------------------------------------
@@ -104,7 +105,11 @@ class MetricsRegistry:
         """Drop every series (tests and benchmark isolation)."""
         self._counters = {}
         self._gauges = {}
-        self._histograms = {}
+        # The reassignment must not interleave with a concurrent
+        # setdefault in observe(), or the freshly created histogram
+        # lands in the dict being thrown away and its observes vanish.
+        with self._create_lock:
+            self._histograms = {}
 
     # -- read path -------------------------------------------------------
 

@@ -25,7 +25,7 @@ integer units is captured by :class:`ScaleScheme`.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -88,8 +88,8 @@ class MicroBatcher:
         # collector drained the queue, leaving the future unresolved.
         self._submit_lock = threading.Lock()
         self._lock = threading.Lock()
-        self.batches_dispatched = 0
-        self.requests_done = 0
+        self.batches_dispatched = 0  # guarded-by: _lock
+        self.requests_done = 0  # guarded-by: _lock
         self._pool = ThreadPoolExecutor(
             max_workers=max(int(workers), 1),
             thread_name_prefix="microbatch-worker")

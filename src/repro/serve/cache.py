@@ -43,10 +43,10 @@ class PredictionCache:
             raise ValueError("capacity must be >= 0")
         self.capacity = int(capacity)
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[CacheKey, object]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._entries: "OrderedDict[CacheKey, object]" = OrderedDict()  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
 
     @staticmethod
     def key(x: np.ndarray, model: str, version: str) -> CacheKey:

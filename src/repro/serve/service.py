@@ -62,9 +62,9 @@ class InferenceService:
         self.workers = int(workers)
         self.cache = PredictionCache(cache_size)
         self.telemetry = Telemetry()
-        self._batchers: Dict[Tuple[str, str], MicroBatcher] = {}
+        self._batchers: Dict[Tuple[str, str], MicroBatcher] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._closed = False
+        self._closed = False  # guarded-by: _lock
         registry.subscribe(self._on_swap)
 
     # -- hot-swap plumbing ----------------------------------------------
@@ -111,8 +111,9 @@ class InferenceService:
     def _begin(self, x, model: Optional[str], version: Optional[str],
                use_cache: bool) -> dict:
         """Resolve + cache-probe + batcher-submit one request (non-blocking)."""
-        if self._closed:
-            raise RuntimeError("InferenceService is shut down")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("InferenceService is shut down")
         t0 = time.perf_counter()
         x = np.asarray(x, dtype=float)
         try:
@@ -194,8 +195,10 @@ class InferenceService:
 
     def healthz(self) -> dict:
         snap = self.telemetry.snapshot()
+        with self._lock:
+            closed = self._closed
         return {
-            "status": "down" if self._closed else "ok",
+            "status": "down" if closed else "ok",
             "models": len(self.registry),
             "requests": snap["requests"],
             "uptime_s": round(snap["uptime_s"], 3),
@@ -256,7 +259,8 @@ class InferenceService:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     def __enter__(self) -> "InferenceService":
         return self

@@ -93,13 +93,13 @@ class Telemetry:
 
     def __init__(self, reservoir: int = 10_000):
         self._lock = threading.Lock()
-        self._latency_ms: "deque[float]" = deque(maxlen=reservoir)
-        self._queue_ms: "deque[float]" = deque(maxlen=reservoir)
-        self._batch_sizes: Counter = Counter()
-        self.requests = 0
-        self.cached_requests = 0
-        self.errors = 0
-        self.energy_mj_total = 0.0
+        self._latency_ms: "deque[float]" = deque(maxlen=reservoir)  # guarded-by: _lock
+        self._queue_ms: "deque[float]" = deque(maxlen=reservoir)  # guarded-by: _lock
+        self._batch_sizes: Counter = Counter()  # guarded-by: _lock
+        self.requests = 0  # guarded-by: _lock
+        self.cached_requests = 0  # guarded-by: _lock
+        self.errors = 0  # guarded-by: _lock
+        self.energy_mj_total = 0.0  # guarded-by: _lock
         self.started_at = time.monotonic()
 
     def record(self, latency_ms: float, queue_ms: float, batch_size: int,

@@ -1,0 +1,17 @@
+"""REP000 fixture: dead symbols (5 findings: three unused imports,
+two unreachable statements)."""
+import json
+import os as _os
+from collections import OrderedDict, defaultdict
+
+
+def early_return(x):
+    if x:
+        return defaultdict(list)
+    return None
+    print("unreachable")
+
+
+def after_raise():
+    raise ValueError("always")
+    return 1

@@ -1,0 +1,21 @@
+"""REP000 fixture: everything alive (0 findings)."""
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+
+__all__ = ["dumps", "Registry"]
+
+
+def dumps(obj) -> str:
+    return json.dumps(obj)
+
+
+class Registry:
+    def __init__(self):
+        self.entries: "OrderedDict[str, object]" = OrderedDict()
+
+    def first_or_none(self, key):
+        if key in self.entries:
+            return self.entries[key]
+        return None

@@ -1,0 +1,27 @@
+"""REP001 fixture: every statement below should fire (7 findings)."""
+import random
+import time
+
+import numpy as np
+
+
+def unseeded_rng():
+    return np.random.default_rng()
+
+
+def none_seeded_rng():
+    return np.random.default_rng(None)
+
+
+def legacy_numpy(x):
+    np.random.seed(0)
+    return np.random.shuffle(x)
+
+
+def stdlib_random(xs):
+    random.shuffle(xs)
+    return random.random()
+
+
+def wall_clock():
+    return time.time()

@@ -1,0 +1,34 @@
+"""REP001 fixture: none of this should fire."""
+import time
+
+import numpy as np
+
+from repro.seeding import as_rng
+
+
+def funneled(rng=None):
+    return as_rng(rng)
+
+
+def explicit_seed(seed):
+    return np.random.default_rng(seed)
+
+
+def literal_seed():
+    return np.random.default_rng(1234)
+
+
+def spawned(rng):
+    return np.random.default_rng(int(rng.integers(0, 2 ** 63)))
+
+
+def durations():
+    t0 = time.perf_counter()
+    time.monotonic()
+    return time.perf_counter() - t0
+
+
+def generator_draws(rng):
+    # Methods on an explicit Generator are fine; only the module-level
+    # global-state API is banned.
+    return rng.random(4), rng.shuffle([1, 2])

@@ -1,0 +1,33 @@
+"""REP003 fixture: guarded state touched outside its lock (5 findings:
+four bad accesses plus one orphaned marker)."""
+import threading
+
+
+class LeakyCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+        # guarded-by: _lock
+        self.items = []
+        self._log = []  # guarded-by: _log_lock [writes]
+        self._log_lock = threading.Lock()
+
+    def unlocked_read(self):
+        return self.count  # finding: read outside the lock
+
+    def unlocked_write(self):
+        self.count += 1  # finding: write outside the lock
+
+    def wrong_lock(self):
+        with self._log_lock:
+            self.items.append(1)  # finding: held lock is not _lock
+
+    def writes_only_write(self):
+        self._log = []  # finding: [writes] still guards writes
+
+
+class Orphan:
+    def __init__(self):
+        # guarded-by: _lock
+        x = 1  # finding: marker not on a self-attribute assignment
+        self.value = x

@@ -1,0 +1,35 @@
+"""REP003 fixture: lock discipline followed (0 findings)."""
+import threading
+
+
+class DisciplinedCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+        # guarded-by: _lock
+        self.items = []
+        self._log = []  # guarded-by: _log_lock [writes]
+        self._log_lock = threading.Lock()
+        self.count = 0  # __init__ is exempt: not shared yet
+
+    def locked_rmw(self):
+        with self._lock:
+            self.count += 1
+            return self.count
+
+    def locked_both(self):
+        with self._lock, self._log_lock:
+            self.items.append(self.count)
+            self._log = list(self._log)
+
+    def nested_locks(self):
+        with self._log_lock:
+            with self._lock:
+                self.items.clear()
+
+    def writes_only_read(self):
+        # [writes] permits lock-free reads by design.
+        return len(self._log)
+
+    def unguarded_attr(self):
+        return self._lock  # the lock object itself is not guarded

@@ -1,0 +1,25 @@
+"""REP004 fixture: wire-protocol violations (5 findings).
+
+The test copies this next to the repo's real ``protocol.py`` under a
+path ending in ``src/repro/cluster/worker.py``, so the rule checks it
+against the real MESSAGES contract.
+"""
+from . import protocol
+
+
+class BadWorker:
+    def two_element_tuple(self, conn):
+        conn.send((protocol.READY, 0))
+
+    def unknown_kind_literal(self, conn, msg_id):
+        conn.send(("predictt", msg_id, {}))
+
+    def undeclared_constant(self, conn, msg_id):
+        conn.send((protocol.REBALANCE, msg_id, {}))
+
+    def missing_required_field(self, conn, msg_id):
+        conn.send((protocol.RESPONSE, msg_id, {"value": 41}))
+
+    def undeclared_field(self, handle):
+        body = {"source": "ckpt/model", "force": True}
+        handle.request(protocol.SWAP, body)

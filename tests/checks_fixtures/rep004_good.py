@@ -1,0 +1,28 @@
+"""REP004 fixture: protocol-conformant send sites (0 findings)."""
+from . import protocol
+
+
+class GoodWorker:
+    def ready(self, conn):
+        conn.send((protocol.READY, 0, self.stats()))
+
+    def ok_response(self, conn, msg_id):
+        conn.send((protocol.RESPONSE, msg_id, {"ok": True, "value": 1}))
+
+    def error_response(self, conn, msg_id):
+        conn.send((protocol.RESPONSE, msg_id,
+                   {"ok": False, "status": 500, "error": "boom"}))
+
+    def local_body(self, handle):
+        body = {"input": [1.0], "model": None, "use_cache": True}
+        return handle.request(protocol.PREDICT, body)
+
+    def dynamic_payload(self, handle, request):
+        # Not a dict literal: out of static reach, deliberately skipped.
+        return handle.request(protocol.PREDICT_MANY, request)
+
+    def forwarded(self, conn, message):
+        conn.send(message)  # prebuilt elsewhere: skipped
+
+    def stats(self):
+        return {}

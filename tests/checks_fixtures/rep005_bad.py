@@ -1,0 +1,15 @@
+"""REP005 fixture: metric naming violations (7 findings)."""
+from repro import obs
+
+
+def bad_names():
+    obs.counter("repro_serve_requests")        # namespace prefix
+    obs.counter("serve_requests_total")        # counter suffix
+    obs.gauge("ServeQueueDepth", 3)            # not snake_case
+    obs.metrics.inc("2fast")                   # not snake_case
+
+
+def bad_labels(extra):
+    obs.counter("serve_requests", le="0.5")    # reserved label
+    obs.observe("serve_latency_ms", 1.0, Outcome="hit")  # not snake_case
+    obs.counter("serve_requests", **extra)     # unbounded label set

@@ -1,0 +1,12 @@
+"""REP005 fixture: conformant metric calls (0 findings)."""
+from repro import obs
+
+
+def good_calls(name, latency_ms):
+    obs.counter("serve_requests", outcome="hit", model="mnist")
+    obs.counter("serve_requests", value=2.0, outcome="miss")
+    obs.gauge("serve_queue_depth", 3)
+    obs.metrics.inc("cluster_rejected")
+    obs.observe("serve_latency_ms", latency_ms, outcome="miss")
+    obs.observe("batch_wait_ms", 0.5, buckets=(0.1, 1.0, 10.0))
+    obs.counter(name, outcome="hit")  # dynamic name: prom.lint()'s job
