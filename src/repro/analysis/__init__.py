@@ -5,13 +5,15 @@ from .aggregate import (axis_tables, best_point, default_objective,
                         sweep_table)
 from .metrics import (accuracy, confusion_matrix, per_class_accuracy,
                       spike_sparsity, summarize_run)
+from .pareto import ParetoAxis, pareto_front, pareto_table, resolve_axes
 from .reporting import ascii_plot, format_series, format_table
 from .tradeoff import (TradeoffPoint, as_series, best_energy_point,
                        sweep_neurons_per_core)
 
-__all__ = ["TradeoffPoint", "accuracy", "as_series", "ascii_plot",
-           "axis_tables", "best_energy_point", "best_point",
+__all__ = ["ParetoAxis", "TradeoffPoint", "accuracy", "as_series",
+           "ascii_plot", "axis_tables", "best_energy_point", "best_point",
            "confusion_matrix", "default_objective", "flatten_metrics",
            "format_series", "format_table", "mean_metrics",
-           "per_class_accuracy", "resolve_objective", "spike_sparsity",
+           "pareto_front", "pareto_table", "per_class_accuracy",
+           "resolve_axes", "resolve_objective", "spike_sparsity",
            "summarize_run", "sweep_table"]

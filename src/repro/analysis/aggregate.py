@@ -110,6 +110,10 @@ def sweep_table(points: Sequence[dict], summaries: Dict[str, dict],
     for point in points:
         summary = summaries.get(point["point_id"], {})
         status = summary.get("status", point.get("status", "pending"))
+        if status == "failed":
+            # Loud in the table: failed points are excluded from the
+            # best row, marginals and the Pareto front.
+            status = "FAILED"
         seeds = (f"{summary['seeds_ok']}/{summary['seeds_total']}"
                  if "seeds_ok" in summary else "-")
         value = summary.get("metrics", {}).get(objective, "")

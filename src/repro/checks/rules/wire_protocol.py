@@ -1,19 +1,22 @@
-"""REP004 — wire-protocol consistency between cluster processes.
+"""REP004 — wire-protocol consistency across process boundaries.
 
-The front end, supervisor, and workers talk over pipes in plain
-``(kind, msg_id, payload)`` tuples; nothing at runtime validates them
-until a worker answers ``400 unknown message kind`` or a handler
-``KeyError``s on a missing payload field — across a process boundary,
-at the worst possible time.  ``cluster/protocol.py`` therefore declares
-the contract twice: once as prose, once as the machine-readable
-``MESSAGES`` dict.  This rule folds that dict out of the protocol
-module's AST (no import — the checker never executes repo code) and
-verifies every send site in ``worker.py`` / ``frontend.py`` /
-``supervisor.py`` against it:
+The cluster front end, supervisor, and workers talk over pipes in plain
+``(kind, msg_id, payload)`` tuples, and the work-queue executor's
+planners enqueue ``(kind, payload)`` task rows; nothing at runtime
+validates either until a worker answers ``400 unknown message kind`` or
+a handler ``KeyError``s on a missing payload field — across a process
+boundary, at the worst possible time.  Each wire therefore declares its
+contract twice — once as prose, once as a machine-readable ``MESSAGES``
+dict — in a ``protocol.py`` next to its senders
+(``cluster/protocol.py`` for the pipes, ``exec/protocol.py`` for the
+task queue).  This rule folds that dict out of the protocol module's
+AST (no import — the checker never executes repo code) and verifies
+every send site in the checked modules against it:
 
 * ``*.send((...))`` tuples have exactly three elements;
-* the ``kind`` element resolves to a declared message kind (via
-  ``protocol.X`` / ``X`` constants or a string literal);
+* the ``kind`` argument of ``request`` / ``_roundtrip`` / ``enqueue``
+  resolves to a declared message kind (via ``protocol.X`` / ``X``
+  constants or a string literal);
 * a *literal* payload dict carries every required key and nothing
   outside the allowed set.  Payloads built dynamically (``self.stats()``,
   a parameter) are skipped — but a dict literal bound to a local name in
@@ -29,17 +32,20 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from ..engine import FileContext, Finding, Rule, register
 from . import dotted
 
-#: Modules whose send sites are checked (the three cluster processes).
+#: Modules whose send sites are checked: the three cluster processes
+#: plus the executor's enqueue side (its workers only *read* payloads).
 CHECKED_MODULES = {
     "repro.cluster.worker", "repro.cluster.frontend",
     "repro.cluster.supervisor",
+    "repro.exec.planner",
 }
 
 #: Call-attribute names that carry a protocol message.
 #: ``send`` takes the whole tuple; the request-shaped ones take
-#: ``(kind, payload)`` as their first two arguments.
+#: ``(kind, payload)`` as their first two arguments (``enqueue`` is the
+#: task queue's producer verb).
 SEND_ATTRS = {"send"}
-REQUEST_ATTRS = {"request", "_roundtrip"}
+REQUEST_ATTRS = {"request", "_roundtrip", "enqueue"}
 
 _Spec = Optional[Tuple[Tuple[str, ...], Tuple[str, ...]]]
 
@@ -220,8 +226,8 @@ class WireProtocolRule(Rule):
         if bad_name is not None:
             findings.append(self.finding(
                 ctx, kind_node,
-                f"{bad_name} is not a message kind declared in "
-                f"cluster/protocol.py"))
+                f"{bad_name} is not a message kind declared in this "
+                f"module's protocol.py"))
             return
         if kind is None:
             return

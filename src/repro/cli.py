@@ -3,9 +3,10 @@
 Subcommands::
 
     run <scenario> [--tiny] [--seeds N] [--seed-base B] [--resume [RUN_ID]]
-        Execute a scenario's spec over N seeds (process-pool fan-out) and
-        print its results table.  ``--resume`` without an id picks the
-        newest unfinished run of the scenario; finished seeds are skipped.
+        Execute a scenario's spec over N seeds (work-queue worker fleet,
+        ``REPRO_MAX_WORKERS`` overrides the width) and print its results
+        table.  ``--resume`` without an id picks the newest unfinished
+        run of the scenario; finished seeds are skipped.
     list
         Table of every run in the store (status, seeds done, version),
         most recent first.
@@ -16,12 +17,18 @@ Subcommands::
     sweep run [<sweep>] [--tiny] [--axis F=V1,V2 ...] [--resume [SWEEP_ID]]
         Expand a sweep (a built-in family like ``t_sweep`` /
         ``noise_robustness``, or any scenario given ``--axis`` grids) and
-        run every point as a child run; mid-sweep kills resume at both
+        interleave the full point x seed product across one worker
+        fleet; mid-sweep kills (even SIGKILLed workers) resume at both
         the point and the seed level.
-    sweep show <sweep_id>
+    sweep show <sweep_id> [--strict]
         Cross-point table with a best-point row, plus per-axis marginals.
-    sweep compare <sweep_id> [<sweep_id> ...]
+        Failed points render as FAILED; ``--strict`` exits 1 on any.
+    sweep compare <sweep_id> [<sweep_id> ...] [--strict]
         Best points of several sweeps side by side.
+    sweep pareto <sweep_id> [--axis METRIC[:max|min] ...]
+        Non-dominated front over the sweep's complete points (default
+        axes: accuracy max, energy min, latency/duration min), with
+        per-axis dominance counts.
     sweep list
         Table of every sweep in the store, most recent first.
     serve <checkpoint> [--port P] [--max-batch N] [--max-wait-ms F]
@@ -71,6 +78,8 @@ EPILOG = """examples:
   python -m repro sweep run noise_robustness     # corruption x dataset
   python -m repro sweep run offline_accuracy --axis epochs=1,2
   python -m repro sweep show <sweep_id>
+  python -m repro sweep pareto <sweep_id>        # accuracy/energy/latency front
+  python -m repro sweep pareto <sweep_id> --axis test_acc:max --axis duration_s:min
   python -m repro serve <run_id>                 # serve a run's checkpoints
   python -m repro serve ckpt/model --port 8100   # serve one checkpoint stem
   python -m repro cluster ckpt/model --workers 4 # supervised worker pool
@@ -149,7 +158,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="seeds per point (default: the base spec's)")
     srun.add_argument("--seed-base", type=int, default=0, metavar="B")
     srun.add_argument("--workers", type=int, default=None, metavar="W",
-                      help="per-point seed fan-out width (1 = inline)")
+                      help="worker-fleet width shared by all points' "
+                           "seeds (1 = inline; default: "
+                           "REPRO_MAX_WORKERS or the CPU count)")
     srun.add_argument("--out", default="runs")
     srun.add_argument("--resume", nargs="?", const="latest", default=None,
                       metavar="SWEEP_ID",
@@ -161,11 +172,29 @@ def build_parser() -> argparse.ArgumentParser:
         "show", help="cross-point table with best-point row + marginals")
     sshow.add_argument("sweep_id", help="sweep id or unique prefix")
     sshow.add_argument("--out", default="runs")
+    sshow.add_argument("--strict", action="store_true",
+                       help="exit 1 when the sweep has any failed point")
 
     scmp = sweep_sub.add_parser(
         "compare", help="best points of several sweeps side by side")
     scmp.add_argument("sweep_ids", nargs="+", metavar="sweep_id")
     scmp.add_argument("--out", default="runs")
+    scmp.add_argument("--strict", action="store_true",
+                      help="exit 1 when any sweep has a failed point")
+
+    spareto = sweep_sub.add_parser(
+        "pareto", help="non-dominated accuracy/energy/latency front over "
+                       "a sweep's complete points")
+    spareto.add_argument("sweep_id", help="sweep id or unique prefix")
+    spareto.add_argument("--axis", action="append", default=[],
+                         metavar="METRIC[:max|min]", dest="axes",
+                         help="objective axis (repeatable; default: the "
+                              "accuracy-like objective max, first "
+                              "energy-like metric min, first latency-like "
+                              "metric or duration_s min)")
+    spareto.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the full front report as JSON")
+    spareto.add_argument("--out", default="runs")
 
     slst = sweep_sub.add_parser("list", help="list all sweeps in the store")
     slst.add_argument("--out", default="runs")
@@ -197,8 +226,9 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("checkpoint",
                          help="checkpoint stem, directory of checkpoints, "
                               "or run id — every worker self-loads it")
-    cluster.add_argument("--workers", type=int, default=2, metavar="N",
-                         help="model-worker processes (default 2)")
+    cluster.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="model-worker processes (default: "
+                              "REPRO_MAX_WORKERS, or up to 2)")
     cluster.add_argument("--host", default="127.0.0.1")
     cluster.add_argument("--port", type=int, default=8100,
                          help="front-end listen port (0 = ephemeral; "
@@ -429,6 +459,8 @@ def _cmd_sweep(args) -> int:
         return _cmd_sweep_show(args)
     if args.sweep_command == "compare":
         return _cmd_sweep_compare(args)
+    if args.sweep_command == "pareto":
+        return _cmd_sweep_pareto(args)
     if args.sweep_command == "list":
         return _cmd_sweep_list(args)
     raise AssertionError(f"unhandled sweep command {args.sweep_command!r}")
@@ -568,6 +600,11 @@ def _render_sweep(store, sweep) -> str:
     return "\n".join(parts)
 
 
+def _failed_points(sweep) -> List[str]:
+    return [p["point_id"] for p in sweep.points()
+            if p.get("status") == "failed"]
+
+
 def _cmd_sweep_show(args) -> int:
     from .sweeps import SweepStore
 
@@ -580,6 +617,12 @@ def _cmd_sweep_show(args) -> int:
         print(f"\n{len(pending)} point(s) unfinished: {pending} "
               f"(resume with: python -m repro sweep run --resume "
               f"{sweep.sweep_id})")
+    failed = _failed_points(sweep)
+    if failed:
+        print(f"\n{len(failed)} point(s) FAILED: {failed} "
+              "(excluded from best-point/marginals/pareto)")
+        if args.strict:
+            return 1
     return 0
 
 
@@ -588,8 +631,10 @@ def _cmd_sweep_compare(args) -> int:
 
     store = SweepStore(args.out)
     rows = []
+    any_failed = False
     for sweep_id in args.sweep_ids:
         sweep = store.find(sweep_id)
+        any_failed = any_failed or bool(_failed_points(sweep))
         spec = sweep.spec()
         summaries = list(store.summaries(sweep).values())
         done = sum(1 for s in summaries if s.get("status") == "complete")
@@ -606,6 +651,40 @@ def _cmd_sweep_compare(args) -> int:
         ["sweep", "sweep_id", "status", "points", "objective",
          "best point", "best value", "best overrides"], rows,
         title="sweeps side by side"))
+    return 1 if (args.strict and any_failed) else 0
+
+
+def _cmd_sweep_pareto(args) -> int:
+    from .analysis.pareto import (ParetoAxis, pareto_front, pareto_table,
+                                  resolve_axes)
+    from .sweeps import SweepStore
+
+    store = SweepStore(args.out)
+    sweep = store.find(args.sweep_id)
+    summaries = list(store.summaries(sweep).values())
+    axes = [ParetoAxis.parse(a) for a in args.axes] or None
+    result = pareto_front(summaries, axes)
+    if not result["points"]:
+        print(f"error: sweep {sweep.sweep_id} has no complete points "
+              "with the requested metrics "
+              f"(axes: {[a['metric'] for a in result['axes']] or args.axes})",
+              file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    axis_desc = ", ".join(f"{a['metric']}:{a['mode']}"
+                          for a in result["axes"])
+    headers, rows = pareto_table(result)
+    print(format_table(
+        headers, rows,
+        title=f"pareto front · sweep {sweep.sweep_id} [{sweep.status}] · "
+              f"{len(result['front'])}/{len(result['points'])} point(s) "
+              f"on front · axes: {axis_desc}"))
+    if result["skipped"]:
+        skipped = [f"{s['point_id']} ({s['reason']})"
+                   for s in result["skipped"]]
+        print(f"\n{len(skipped)} point(s) excluded: {', '.join(skipped)}")
     return 0
 
 
@@ -692,8 +771,11 @@ def _signal_name(signum) -> str:
 
 def _cmd_cluster(args) -> int:
     from .cluster import ClusterError, ClusterService, Supervisor, WorkerSpec
+    from .exec import default_workers
     from .serve import InferenceHTTPServer
 
+    if args.workers is None:
+        args.workers = default_workers(cap=2)
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
@@ -847,7 +929,7 @@ def _load_trace(args):
 def _span_label(span: dict) -> str:
     attrs = span.get("attrs", {})
     keys = ("experiment", "run_id", "seed", "backend", "epoch", "dataset",
-            "point_id", "status")
+            "point_id", "worker", "status")
     detail = " ".join(f"{k}={attrs[k]}" for k in keys if k in attrs)
     return f"{span['name']}{' [' + detail + ']' if detail else ''}"
 
@@ -903,10 +985,14 @@ def _cmd_trace_summary(args) -> int:
     if spans:
         print()
         print(format_table(
-            ["span", "count", "errors", "total_ms", "mean_ms", "max_ms"],
+            ["span", "count", "errors", "total_ms", "mean_ms", "max_ms",
+             "queue_ms"],
             [[s["name"], s["count"], s["errors"], s["total_ms"],
-              s["mean_ms"], s["max_ms"]] for s in spans],
-            title="per-span aggregates"))
+              s["mean_ms"], s["max_ms"],
+              "-" if s.get("queue_wait_ms") is None
+              else s["queue_wait_ms"]] for s in spans],
+            title="per-span aggregates (queue_ms = mean enqueue->claim "
+                  "wait)"))
     kernels = obs.summarize_kernels(records)
     if kernels:
         print()

@@ -1,0 +1,36 @@
+"""Planner-side helpers: build protocol-conformant task payloads.
+
+This is the only module that calls ``queue.enqueue`` — keeping every
+enqueue site here means REP004 has one small file to statically verify
+against :data:`repro.exec.protocol.MESSAGES`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import obs
+from .protocol import RUN_SEED
+from .queue import TaskQueue
+
+
+def enqueue_seed(queue: TaskQueue, *, experiment: str, run_id: str,
+                 run_dir: str, spec: dict, seed: int,
+                 repro_version: Optional[str] = None,
+                 point_id: Optional[str] = None,
+                 queue_parent: Optional[str] = None) -> str:
+    """Enqueue one ``run_seed`` task; returns its task id."""
+    payload = {
+        "experiment": experiment,
+        "run_id": run_id,
+        "run_dir": str(run_dir),
+        "spec": spec,
+        "seed": int(seed),
+        "repro_version": repro_version,
+        "point_id": point_id,
+        "queue_parent": queue_parent,
+    }
+    task_id = queue.enqueue(RUN_SEED, payload)
+    obs.event("task_enqueue", task_id=task_id, seed=int(seed),
+              run_id=run_id, point_id=point_id)
+    return task_id

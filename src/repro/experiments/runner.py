@@ -1,33 +1,35 @@
 """The experiment runner: seed fan-out, persistence, resume.
 
-One ``Runner.run(spec)`` call executes every seed of the spec, each in its
-own worker process (seeds are fully independent: their dataset split,
-model init and training stream all derive from the seed), and streams one
-JSONL record per finished seed into the run directory.  Records are
-written by the parent as futures complete, so a killed run keeps every
-finished seed; ``resume`` re-opens the run directory, reads the manifest's
-spec and the finished seeds, and only runs what is missing.
+One ``Runner.run(spec)`` call plans the run and hands execution to the
+shared work-queue executor (:mod:`repro.exec`): every pending seed
+becomes one ``run_seed`` task on a SQLite-backed queue in the run
+directory, and a spawn-based :class:`~repro.exec.pool.WorkerPool` pulls
+them under leases (seeds are fully independent: their dataset split,
+model init and training stream all derive from the seed).  The *worker*
+appends each seed's record to ``records.jsonl`` the moment it finishes,
+so a killed run keeps every finished seed and a SIGKILLed worker's
+leased task is requeued rather than lost; ``resume`` re-opens the run
+directory, reads the manifest's spec and the finished seeds, and only
+enqueues what is missing.
 
-Worker processes must be able to re-import this module and look the
-scenario up by name, which is why :func:`_seed_worker` is a top-level
-function taking only picklable arguments (the spec as a dict).
+The queue file (``queue.db``) is rebuilt from ``records.jsonl`` on
+every invocation and left on disk afterwards for inspection — it is
+bookkeeping, not state.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import os
 import time
-import traceback
 import uuid
-from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
-                                as_completed)
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .. import obs
+from ..exec import (QUEUE_DB_NAME, Task, TaskQueue, WorkerPool,
+                    default_workers, enqueue_seed)
 from .spec import ExperimentSpec
-from .store import CHECKPOINT_DIR_NAME, RunInfo, RunStore
+from .store import RECORDS_NAME, RunInfo, RunStore, read_jsonl
 
 
 def new_run_id() -> str:
@@ -35,39 +37,43 @@ def new_run_id() -> str:
     return time.strftime("%Y%m%d-%H%M%S") + "-" + uuid.uuid4().hex[:6]
 
 
-def _seed_worker(spec_dict: dict, seed: int, ckpt_dir: Optional[str],
-                 trace_parent: Optional[str] = None) -> dict:
-    """Run one seed of one scenario; returns the record payload.
+def fresh_queue(directory: Path) -> TaskQueue:
+    """A new, empty :class:`TaskQueue` at ``<directory>/queue.db``.
 
-    ``trace_parent`` is the parent process's ``run`` span id: the seed
-    span written by this (possibly separate) process links to it, which
-    is what stitches the per-process trace fragments into one tree.
-    Kernel timing is emitted as a *delta* against the profiler state at
-    entry, so inline execution (no fresh process) reports only this
-    seed's kernel activity.
+    Any stale queue file from a previous (possibly killed) invocation
+    is removed first — the durable resume state lives in
+    ``records.jsonl`` / the manifests, never in the queue.
     """
-    from .scenarios import get_scenario
+    db = Path(directory) / QUEUE_DB_NAME
+    for suffix in ("", "-journal", "-wal", "-shm"):
+        stale = db.parent / (db.name + suffix)
+        if stale.exists():
+            stale.unlink()
+    return TaskQueue(db)
 
-    spec = ExperimentSpec.from_dict(spec_dict)
-    scenario = get_scenario(spec.name)
-    run_dir = Path(ckpt_dir).parent if ckpt_dir else None
-    kernel_baseline = obs.kernel_profiler.snapshot()
-    t0 = time.perf_counter()
-    with obs.trace_bound(obs.trace_path_for(run_dir)):
-        with obs.span("seed", parent_id=trace_parent, seed=int(seed),
-                      experiment=spec.name) as sp:
-            payload = scenario.run_seed(
-                spec, int(seed), Path(ckpt_dir) if ckpt_dir else None)
-            payload = dict(payload)
-            payload.setdefault("series", {})
-            payload.setdefault("checkpoints", {})
-            payload["seed"] = int(seed)
-            payload["duration_s"] = round(time.perf_counter() - t0, 3)
-            if sp is not None:
-                sp.set(duration_s=payload["duration_s"],
-                       metrics=payload.get("metrics", {}))
-        obs.emit_kernel_stats(kernel_baseline)
-    return payload
+
+def final_records(run_dir: Path, seeds) -> Dict[int, dict]:
+    """seed -> its authoritative record from ``records.jsonl``.
+
+    Prefers the last ``ok`` record per seed (requeue races can leave an
+    error line before the retry's ok line); falls back to the last
+    record of any status.  Seeds with no record are absent.
+    """
+    by_seed: Dict[int, dict] = {}
+    ok_by_seed: Dict[int, dict] = {}
+    for rec in read_jsonl(Path(run_dir) / RECORDS_NAME):
+        seed = rec.get("seed")
+        if seed is None:
+            continue
+        by_seed[int(seed)] = rec
+        if rec.get("status") == "ok":
+            ok_by_seed[int(seed)] = rec
+    out: Dict[int, dict] = {}
+    for seed in seeds:
+        rec = ok_by_seed.get(int(seed), by_seed.get(int(seed)))
+        if rec is not None:
+            out[int(seed)] = rec
+    return out
 
 
 @dataclasses.dataclass
@@ -124,16 +130,17 @@ class RunResult:
 
 
 class Runner:
-    """Executes :class:`ExperimentSpec` seed fan-outs against a run store.
+    """Plans :class:`ExperimentSpec` seed fan-outs over the executor.
 
     Parameters
     ----------
     out_root:
         Root of the run store (default ``runs/``).
     max_workers:
-        Process pool width; ``1`` runs seeds inline in this process (used
-        by the examples and handy under debuggers).  Defaults to one
-        worker per pending seed, capped at the CPU count.
+        Worker-fleet width; ``1`` runs the claim loop inline in this
+        process (used by the examples and handy under debuggers).
+        Defaults to :func:`repro.exec.default_workers` capped at the
+        pending seed count (``REPRO_MAX_WORKERS`` overrides).
     """
 
     def __init__(self, out_root="runs", max_workers: Optional[int] = None):
@@ -171,101 +178,60 @@ class Runner:
         if progress is not None and skipped:
             progress(f"resuming {run.run_id}: seeds {skipped} already done")
 
-        envelope = {
-            "experiment": spec.name,
-            "run_id": run.run_id,
-            "repro_version": run.manifest["repro_version"],
-        }
-        records = list(done.values())
-        failed = False
         with obs.trace_bound(obs.trace_path_for(run.path)):
             with obs.span("run", experiment=spec.name, run_id=run.run_id,
                           seeds=len(spec.seeds),
                           pending=len(pending)) as root:
                 trace_parent = root.span_id if root is not None else None
-                for payload in self._execute(spec, pending, run, progress,
-                                             trace_parent):
-                    record = {**envelope, **payload}
-                    record.setdefault("status", "ok")
-                    self.store.append_record(run, record)
-                    records.append(record)
-                    failed = failed or record["status"] != "ok"
-                    obs.event("seed_finished", seed=record["seed"],
-                              status=record["status"],
-                              duration_s=record.get("duration_s"))
-                    obs.counter("seeds_finished", experiment=spec.name,
-                                status=record["status"])
-                    if progress is not None:
-                        progress(f"seed {record['seed']}: "
-                                 f"{record['status']} "
-                                 f"({record.get('duration_s', '?')}s)")
+                if pending:
+                    self._execute(spec, pending, run, progress,
+                                  trace_parent)
+                finals = final_records(run.path, spec.seeds)
+                failed = any(
+                    finals.get(int(s), {}).get("status") != "ok"
+                    for s in spec.seeds)
                 status = "failed" if failed else "complete"
                 if root is not None:
                     root.set(status=status)
+        records = ([done[s] for s in spec.seeds if s in done]
+                   + [finals[int(s)] for s in pending
+                      if int(s) in finals])
         run = self.store.update_status(run, status)
         return RunResult(run=run, records=records, skipped_seeds=skipped)
 
-    # -- execution strategies -------------------------------------------
+    # -- execution -------------------------------------------------------
 
     def _execute(self, spec: ExperimentSpec, pending: List[int],
                  run: RunInfo, progress: Optional[callable],
-                 trace_parent: Optional[str] = None):
-        """Yield one record payload per pending seed as they finish."""
-        if not pending:
-            return
+                 trace_parent: Optional[str] = None) -> None:
+        """Enqueue the pending seeds and drain the queue to empty."""
+        queue = fresh_queue(run.path)
         spec_dict = spec.to_dict()
-        ckpt_dir = str(run.path / CHECKPOINT_DIR_NAME)
+        for seed in pending:
+            enqueue_seed(
+                queue,
+                experiment=spec.name,
+                run_id=run.run_id,
+                run_dir=str(run.path),
+                spec=spec_dict,
+                seed=seed,
+                repro_version=run.manifest.get("repro_version"),
+                queue_parent=trace_parent,
+            )
         workers = self.max_workers
         if workers is None:
-            workers = min(len(pending), os.cpu_count() or 1)
-        if workers <= 1 or len(pending) == 1:
-            yield from self._execute_inline(spec_dict, pending, ckpt_dir,
-                                            trace_parent)
-            return
-        yielded = set()
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(_seed_worker, spec_dict, s, ckpt_dir,
-                                       trace_parent): s
-                           for s in pending}
-                for fut in as_completed(futures):
-                    seed = futures[fut]
-                    try:
-                        payload = fut.result()
-                    except BrokenExecutor:
-                        raise  # pool itself is gone; fall back below
-                    except Exception:
-                        # Includes OSError raised by the seed's own work
-                        # (e.g. an unwritable checkpoint dir): that is a
-                        # seed failure, not a pool failure.
-                        payload = _error_payload(seed)
-                    yielded.add(seed)
-                    yield payload
-        except (OSError, BrokenExecutor) as exc:
-            # Sandboxes without fork/semaphores (or a pool that died under
-            # us): degrade to inline execution for whatever has not
-            # finished rather than failing the run.
+            workers = min(default_workers(), len(pending))
+
+        def on_done(task: Task, result: dict) -> None:
+            seed = result.get("seed", task.payload.get("seed"))
+            status = result.get("status", "error")
+            duration = result.get("duration_s")
+            obs.event("seed_finished", seed=seed, status=status,
+                      duration_s=duration)
+            obs.counter("seeds_finished", experiment=spec.name,
+                        status=status)
             if progress is not None:
-                progress(f"process pool unavailable ({exc}); "
-                         "running remaining seeds inline")
-            yield from self._execute_inline(
-                spec_dict, [s for s in pending if s not in yielded],
-                ckpt_dir, trace_parent)
+                progress(f"seed {seed}: {status} ({duration}s)")
 
-    @staticmethod
-    def _execute_inline(spec_dict: dict, pending: List[int], ckpt_dir: str,
-                        trace_parent: Optional[str] = None):
-        for seed in pending:
-            try:
-                yield _seed_worker(spec_dict, seed, ckpt_dir, trace_parent)
-            except Exception:
-                yield _error_payload(seed)
-
-
-def _error_payload(seed: int) -> dict:
-    return {
-        "seed": int(seed),
-        "status": "error",
-        "error": traceback.format_exc(limit=20),
-        "metrics": {}, "series": {}, "checkpoints": {},
-    }
+        WorkerPool(queue, workers=workers).run(
+            on_task_done=on_done, progress=progress)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -32,6 +33,21 @@ STORE_FORMAT_VERSION = 1
 
 
 # -- helpers shared with the sweep store (repro.sweeps.store) --------------
+
+def append_jsonl(path: Path, record: dict) -> None:
+    """Append one record as a single ``O_APPEND`` write.
+
+    POSIX guarantees a single ``write(2)`` on an ``O_APPEND`` fd lands
+    atomically at the end of the file, so concurrent executor workers
+    can append to one ``records.jsonl`` without interleaving lines.
+    The byte format matches the historical buffered append exactly.
+    """
+    line = (json.dumps(record, sort_keys=True) + "\n").encode()
+    fd = os.open(str(path), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
 
 def read_jsonl(path: Path) -> List[dict]:
     """Parsed JSONL lines (skips blanks and a torn trailing line).
@@ -144,9 +160,7 @@ class RunStore:
         return RunInfo(run.experiment, run.run_id, run.path, manifest)
 
     def append_record(self, run: RunInfo, record: dict) -> None:
-        with (run.path / RECORDS_NAME).open("a") as fh:
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
-            fh.flush()
+        append_jsonl(run.path / RECORDS_NAME, record)
 
     @staticmethod
     def _write_manifest(path: Path, manifest: dict) -> None:

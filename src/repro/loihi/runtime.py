@@ -269,7 +269,9 @@ class ShardedRuntime(Runtime):
         for conn in network.connections:
             self.shards[shard_of[conn.dst.name]].conns_in.append(conn)
         if max_workers is None:
-            max_workers = min(len(self.shards), 4)
+            from ..exec import default_workers
+
+            max_workers = default_workers(cap=min(len(self.shards), 4))
         self.max_workers = max(1, int(max_workers))
         self._pool = ThreadPoolExecutor(max_workers=self.max_workers) \
             if self.max_workers > 1 and len(self.shards) > 1 else None

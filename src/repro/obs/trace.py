@@ -273,25 +273,39 @@ def build_span_forest(records: List[dict]):
 
 
 def summarize_spans(records: List[dict]) -> List[dict]:
-    """Per-name aggregates over every span, slowest total first."""
+    """Per-name aggregates over every span, slowest total first.
+
+    ``queue_wait_ms`` is the mean of that attribute over the spans that
+    carry it (the executor's ``task`` spans record their enqueue->claim
+    latency there) and ``None`` for every other span name.
+    """
     agg: Dict[str, dict] = {}
     for span in records:
         if span.get("kind") != "span":
             continue
         entry = agg.setdefault(span["name"], {
             "name": span["name"], "count": 0, "errors": 0,
-            "total_ms": 0.0, "max_ms": 0.0})
+            "total_ms": 0.0, "max_ms": 0.0,
+            "_wait_ms": 0.0, "_wait_n": 0})
         dur = float(span.get("dur_ms", 0.0))
         entry["count"] += 1
         entry["total_ms"] += dur
         entry["max_ms"] = max(entry["max_ms"], dur)
         if span.get("status") == "error":
             entry["errors"] += 1
+        wait = span.get("attrs", {}).get("queue_wait_ms")
+        if isinstance(wait, (int, float)) and not isinstance(wait, bool):
+            entry["_wait_ms"] += float(wait)
+            entry["_wait_n"] += 1
     out = sorted(agg.values(), key=lambda e: -e["total_ms"])
     for entry in out:
         entry["total_ms"] = round(entry["total_ms"], 3)
         entry["mean_ms"] = round(entry["total_ms"] / entry["count"], 3)
         entry["max_ms"] = round(entry["max_ms"], 3)
+        wait_n = entry.pop("_wait_n")
+        wait_ms = entry.pop("_wait_ms")
+        entry["queue_wait_ms"] = (round(wait_ms / wait_n, 3)
+                                  if wait_n else None)
     return out
 
 

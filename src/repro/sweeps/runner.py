@@ -1,19 +1,21 @@
-"""The sweep runner: fan a SweepSpec's points through the experiment Runner.
+"""The sweep runner: fan a SweepSpec's point × seed product over the executor.
 
-One ``SweepRunner.run(sweep)`` call expands the sweep and executes its
-points in order, each as an ordinary run of the existing
-:class:`~repro.experiments.runner.Runner` — so every point inherits the
-seed fan-out process pool, the checkpointing run store, and seed-level
-resume unchanged.  The sweep layer only adds the index: before a point
-starts, its freshly created child run id is committed to ``sweep.json``;
-after it finishes, a summary line (mean metrics over its seeds) is
-appended to ``summary.jsonl``.
+One ``SweepRunner.run(sweep)`` call expands the sweep, ensures every
+incomplete point has a child run directory in the ordinary experiment
+run store, then enqueues *all* pending ``(point, seed)`` tasks onto one
+SQLite-backed queue in the sweep directory and drains it with a shared
+:class:`~repro.exec.pool.WorkerPool` — so points interleave across
+workers instead of running point-by-point, and a 100-point × 5-seed
+grid saturates the machine.  A point's summary line (mean metrics over
+its seeds) is appended to ``summary.jsonl`` the moment its last seed
+lands, in whatever order the fleet finishes them; with one worker the
+claim order is the enqueue order, so summaries stay in expansion order.
 
-Resume is two-level.  ``resume=<sweep_id>`` re-expands the spec from the
-sweep manifest and walks the points again: finished points are skipped
-outright, and a point that was mid-flight when the sweep died is resumed
-*through the runner's own manifest machinery* — its finished seeds are
-not re-run either.
+Resume is two-level and unchanged from the sequential design:
+``resume=<sweep_id>`` re-expands the spec from ``sweep.json``, skips
+finished points outright, and for a point that was mid-flight re-reads
+its child run's ``records.jsonl`` so finished seeds are not re-enqueued.
+A SIGKILLed worker's leased task is requeued by the pool, not lost.
 """
 
 from __future__ import annotations
@@ -25,7 +27,9 @@ from typing import Dict, List, Optional
 
 from .. import obs
 from ..analysis.aggregate import mean_metrics
-from ..experiments.runner import Runner, RunResult, new_run_id
+from ..exec import Task, WorkerPool, default_workers, enqueue_seed
+from ..experiments.runner import (Runner, final_records, fresh_queue,
+                                  new_run_id)
 from .spec import SweepPoint, SweepSpec
 from .store import SweepInfo, SweepStore
 
@@ -69,6 +73,16 @@ class SweepResult:
         return [p for p in self.points if p.status == "complete"]
 
 
+@dataclasses.dataclass
+class _Plan:
+    """One incomplete point's execution state during a sweep."""
+
+    point: SweepPoint
+    run_id: str
+    run_dir: Path
+    outstanding: set
+
+
 class SweepRunner:
     """Executes :class:`SweepSpec` expansions against a run + sweep store.
 
@@ -78,11 +92,12 @@ class SweepRunner:
         Root of the run store; the sweep index lives under
         ``<out_root>/sweeps/`` and child runs in the store proper.
     max_workers:
-        Passed through to the point runner's seed fan-out (``1`` runs
-        seeds inline).
+        Worker-fleet width shared by *all* points' seeds (``1`` runs
+        the claim loop inline).  Defaults to
+        :func:`repro.exec.default_workers` capped at the task count.
     runner:
         An existing :class:`Runner` to share instead of building one —
-        points then reuse its store and pool configuration.
+        points then reuse its store and worker configuration.
     """
 
     def __init__(self, out_root="runs", max_workers: Optional[int] = None,
@@ -90,6 +105,8 @@ class SweepRunner:
         self.runner = runner or Runner(out_root=out_root,
                                        max_workers=max_workers)
         self.store = SweepStore(self.runner.store.root)
+        self.max_workers = (max_workers if max_workers is not None
+                            else self.runner.max_workers)
 
     def run(self, spec: Optional[SweepSpec] = None,
             resume: Optional[str] = None,
@@ -116,91 +133,177 @@ class SweepRunner:
         points = spec.expand()
         state: Dict[str, dict] = {p["point_id"]: p for p in sweep.points()}
         summaries = self.store.summaries(sweep)
-        results: List[PointResult] = []
-        failed = False
-        # The sweep trace holds one span per point; each child run writes
-        # its own trace.jsonl under its run directory as usual.
+        results: Dict[str, PointResult] = {}
+        # The sweep trace holds the executor's task spans (enqueue ->
+        # claim -> done); each child run writes its own trace.jsonl
+        # under its run directory as usual.
         with obs.trace_bound(obs.trace_path_for(sweep.path)):
             with obs.span("sweep", sweep_id=sweep.sweep_id,
-                          sweep_name=spec.name, points=len(points)):
-                for point in points:
-                    entry = state.get(point.point_id, {})
-                    if entry.get("status") == "complete" \
-                            and point.point_id in summaries:
-                        if progress is not None:
-                            progress(f"point {point.point_id} "
-                                     f"({point.label}): already complete")
-                        obs.event("sweep_point_skipped",
-                                  point_id=point.point_id)
-                        results.append(PointResult(
-                            point=point, run_id=entry.get("run_id", ""),
-                            status="complete",
-                            summary=summaries[point.point_id], skipped=True))
-                        continue
-                    with obs.span("sweep_point", point_id=point.point_id,
-                                  label=point.label) as sp:
-                        sweep, result = self._run_point(sweep, point, entry,
-                                                        progress)
-                        if sp is not None:
-                            sp.set(run_id=result.run_id,
-                                   status=result.status)
-                    summary = self._summarize_point(point, result)
-                    self.store.append_summary(sweep, summary)
-                    sweep = self.store.update_point(
-                        sweep, point.point_id, status=result.status
-                        if result.status in ("complete", "failed")
-                        else "failed")
-                    failed = failed or result.status != "complete"
-                    obs.counter("sweep_points_finished", sweep=spec.name,
-                                status=result.status)
-                    results.append(PointResult(
-                        point=point, run_id=result.run_id,
-                        status=result.status, summary=summary))
-                    if progress is not None:
-                        progress(f"point {point.point_id} ({point.label}): "
-                                 f"{result.status}")
+                          sweep_name=spec.name, points=len(points)) as root:
+                queue_parent = root.span_id if root is not None else None
+                sweep = self._run_points(sweep, spec, points, state,
+                                         summaries, results, queue_parent,
+                                         progress)
+        ordered = [results[p.point_id] for p in points]
+        failed = any(r.status != "complete" for r in ordered)
         sweep = self.store.update_status(
             sweep, "failed" if failed else "complete")
-        return SweepResult(sweep=sweep, points=results)
+        return SweepResult(sweep=sweep, points=ordered)
+
+    # -- planning + execution -------------------------------------------
+
+    def _run_points(self, sweep: SweepInfo, spec: SweepSpec,
+                    points: List[SweepPoint], state: Dict[str, dict],
+                    summaries: Dict[str, dict],
+                    results: Dict[str, PointResult],
+                    queue_parent: Optional[str],
+                    progress: Optional[callable]) -> SweepInfo:
+        # Phase 1: skip finished points, ensure every live point has a
+        # child run directory (committed to sweep.json *before* any seed
+        # executes, so a killed sweep finds it again on resume).
+        plans: Dict[str, _Plan] = {}
+        for point in points:
+            entry = state.get(point.point_id, {})
+            if entry.get("status") == "complete" \
+                    and point.point_id in summaries:
+                if progress is not None:
+                    progress(f"point {point.point_id} "
+                             f"({point.label}): already complete")
+                obs.event("sweep_point_skipped", point_id=point.point_id)
+                results[point.point_id] = PointResult(
+                    point=point, run_id=entry.get("run_id", ""),
+                    status="complete",
+                    summary=summaries[point.point_id], skipped=True)
+                continue
+            run_id = entry.get("run_id")
+            if run_id is None:
+                run = self.runner.store.create_run(point.spec, new_run_id())
+                run_id = run.run_id
+                sweep = self.store.update_point(sweep, point.point_id,
+                                                run_id=run_id,
+                                                status="running")
+            else:
+                run = self.runner.store.find(run_id)
+                sweep = self.store.update_point(sweep, point.point_id,
+                                                status="running")
+            if progress is not None:
+                progress(f"point {point.point_id} ({point.label}) -> "
+                         f"run {run_id}")
+            done = self.runner.store.done_seeds(run)
+            pending = [s for s in point.spec.seeds if s not in done]
+            if progress is not None and done:
+                progress(f"resuming {run_id}: seeds "
+                         f"{sorted(done)} already done")
+            plans[point.point_id] = _Plan(
+                point=point, run_id=run_id, run_dir=run.path,
+                outstanding=set(int(s) for s in pending))
+
+        # Phase 2: enqueue the full point x seed product on one queue.
+        queue = fresh_queue(sweep.path)
+        n_tasks = 0
+        for point in points:
+            plan = plans.get(point.point_id)
+            if plan is None:
+                continue
+            run = self.runner.store.find(plan.run_id)
+            spec_dict = point.spec.to_dict()
+            for seed in sorted(plan.outstanding):
+                enqueue_seed(
+                    queue,
+                    experiment=point.spec.name,
+                    run_id=plan.run_id,
+                    run_dir=str(plan.run_dir),
+                    spec=spec_dict,
+                    seed=seed,
+                    repro_version=run.manifest.get("repro_version"),
+                    point_id=point.point_id,
+                    queue_parent=queue_parent,
+                )
+                n_tasks += 1
+            if not plan.outstanding:
+                # Every seed already recorded (sweep died between the
+                # last seed and the summary line): finalize straight away.
+                sweep = self._finalize_point(sweep, plan, results,
+                                             progress)
+
+        if n_tasks == 0:
+            return sweep
+
+        # Phase 3: drain; finalize each point the moment it empties.
+        workers = self.max_workers
+        if workers is None:
+            workers = min(default_workers(), n_tasks)
+        holder = {"sweep": sweep}
+
+        def on_done(task: Task, result: dict) -> None:
+            point_id = task.payload.get("point_id")
+            seed = result.get("seed", task.payload.get("seed"))
+            status = result.get("status", "error")
+            obs.event("seed_finished", seed=seed, status=status,
+                      point_id=point_id,
+                      duration_s=result.get("duration_s"))
+            obs.counter("seeds_finished",
+                        experiment=task.payload.get("experiment"),
+                        status=status)
+            if progress is not None:
+                progress(f"point {point_id} seed {seed}: {status}")
+            plan = plans.get(point_id)
+            if plan is None:
+                return
+            plan.outstanding.discard(int(seed))
+            if not plan.outstanding and point_id not in results:
+                holder["sweep"] = self._finalize_point(
+                    holder["sweep"], plan, results, progress)
+
+        WorkerPool(queue, workers=workers).run(
+            on_task_done=on_done, progress=progress)
+        sweep = holder["sweep"]
+
+        # Safety net: a task marked failed at the queue level (no record
+        # written) leaves its point unfinalized — finalize from disk.
+        for point in points:
+            plan = plans.get(point.point_id)
+            if plan is not None and point.point_id not in results:
+                sweep = self._finalize_point(sweep, plan, results,
+                                             progress)
+        return sweep
 
     # -- one point -------------------------------------------------------
 
-    def _run_point(self, sweep: SweepInfo, point: SweepPoint, entry: dict,
-                   progress: Optional[callable]):
-        """Execute one point as a child run, creating or resuming it.
-
-        The child run directory is created (and committed to the sweep
-        manifest) *before* any seed executes, so a sweep killed mid-point
-        finds the run again on resume and continues its finished seeds.
-        """
-        run_id = entry.get("run_id")
-        if run_id is None:
-            run = self.runner.store.create_run(point.spec, new_run_id())
-            run_id = run.run_id
-            sweep = self.store.update_point(sweep, point.point_id,
-                                            run_id=run_id, status="running")
-        else:
-            sweep = self.store.update_point(sweep, point.point_id,
-                                            status="running")
-        if progress is not None:
-            progress(f"point {point.point_id} ({point.label}) -> "
-                     f"run {run_id}")
-        result = self.runner.run(resume=run_id, progress=progress)
-        return sweep, result
-
-    @staticmethod
-    def _summarize_point(point: SweepPoint, result: RunResult) -> dict:
-        ok = result.ok_records()
-        return {
+    def _finalize_point(self, sweep: SweepInfo, plan: _Plan,
+                        results: Dict[str, PointResult],
+                        progress: Optional[callable]) -> SweepInfo:
+        """Settle a drained point: child run status, summary line, index."""
+        point = plan.point
+        run = self.runner.store.find(plan.run_id)
+        finals = final_records(plan.run_dir, point.spec.seeds)
+        ok = sorted((r for r in finals.values()
+                     if r.get("status") == "ok"),
+                    key=lambda r: r["seed"])
+        status = ("complete"
+                  if len(ok) == len(point.spec.seeds) else "failed")
+        self.runner.store.update_status(run, status)
+        summary = {
             "point_id": point.point_id,
             "overrides": point.overrides,
-            "run_id": result.run_id,
-            "status": result.status,
+            "run_id": plan.run_id,
+            "status": status,
             "experiment": point.spec.name,
             "seeds_ok": len(ok),
             "seeds_total": len(point.spec.seeds),
             "duration_s": round(sum(r.get("duration_s", 0.0)
-                                    for r in result.records), 3),
+                                    for r in finals.values()), 3),
             "metrics": mean_metrics(ok),
             "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         }
+        self.store.append_summary(sweep, summary)
+        sweep = self.store.update_point(sweep, point.point_id,
+                                        status=status)
+        obs.counter("sweep_points_finished", sweep=sweep.name,
+                    status=status)
+        results[point.point_id] = PointResult(
+            point=point, run_id=plan.run_id, status=status,
+            summary=summary)
+        if progress is not None:
+            progress(f"point {point.point_id} ({point.label}): {status}")
+        return sweep

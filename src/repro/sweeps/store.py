@@ -25,7 +25,8 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from ..experiments.store import pick_latest, read_jsonl, resolve_id
+from ..experiments.store import (append_jsonl, pick_latest, read_jsonl,
+                                 resolve_id)
 from .spec import SweepSpec
 
 SWEEPS_DIR_NAME = "sweeps"
@@ -119,9 +120,7 @@ class SweepStore:
         return SweepInfo(sweep.sweep_id, sweep.path, manifest)
 
     def append_summary(self, sweep: SweepInfo, line: dict) -> None:
-        with (sweep.path / SWEEP_SUMMARY_NAME).open("a") as fh:
-            fh.write(json.dumps(line, sort_keys=True) + "\n")
-            fh.flush()
+        append_jsonl(sweep.path / SWEEP_SUMMARY_NAME, line)
 
     @staticmethod
     def _write_manifest(path: Path, manifest: dict) -> None:

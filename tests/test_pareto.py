@@ -1,0 +1,212 @@
+"""Tests for Pareto-front analysis and the sweep CLI around it.
+
+The pure-function half exercises :mod:`repro.analysis.pareto` on a
+hand-built set of summaries with a known frontier; the CLI half drives
+``sweep pareto`` / ``sweep show --strict`` / ``sweep compare --strict``
+against a synthetic on-disk sweep (no training runs needed).
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.analysis.pareto import (ParetoAxis, axis_value, pareto_front,
+                                   pareto_table, resolve_axes)
+from repro.experiments import get_scenario
+from repro.sweeps import SweepStore
+from repro.sweeps.spec import SweepAxis, SweepSpec
+
+
+def summary(pid, status="complete", metrics=None, **extra):
+    entry = {"point_id": pid, "run_id": f"run-{pid}",
+             "overrides": {"epochs": 1}, "status": status,
+             "seeds_ok": 2 if status == "complete" else 0,
+             "seeds_total": 2, "duration_s": 1.0,
+             "metrics": metrics or {}}
+    entry.update(extra)
+    return entry
+
+
+#: A known frontier over (acc max, energy_nj min):
+#: p000 and p001 trade off (both on front), p003 ties p000 exactly
+#: (ties never dominate, so it stays on front), p002 is dominated by
+#: p000 on both axes.
+KNOWN = [
+    summary("p000", metrics={"acc": 0.90, "energy_nj": 10.0}),
+    summary("p001", metrics={"acc": 0.80, "energy_nj": 5.0}),
+    summary("p002", metrics={"acc": 0.85, "energy_nj": 12.0}),
+    summary("p003", metrics={"acc": 0.90, "energy_nj": 10.0}),
+]
+AXES = [ParetoAxis("acc", "max"), ParetoAxis("energy_nj", "min")]
+
+
+# ---------------------------------------------------------------------------
+# axes
+# ---------------------------------------------------------------------------
+
+def test_axis_parse_forms():
+    assert ParetoAxis.parse("acc") == ParetoAxis("acc", "max")
+    assert ParetoAxis.parse("energy_nj:min") == ParetoAxis("energy_nj",
+                                                           "min")
+    assert ParetoAxis.parse(" acc :max") == ParetoAxis("acc", "max")
+    # A colon with an unknown mode is part of the metric name.
+    assert ParetoAxis.parse("ns:chip").metric == "ns:chip"
+    with pytest.raises(ValueError, match="max.*min"):
+        ParetoAxis("acc", "best")
+
+
+def test_axis_value_reads_metrics_then_top_level():
+    entry = summary("p", metrics={"acc": 0.5}, duration_s=2.5)
+    assert axis_value(entry, "acc") == 0.5
+    assert axis_value(entry, "duration_s") == 2.5  # pseudo-metric
+    assert axis_value(entry, "missing") is None
+    assert axis_value(summary("p", metrics={"flag": True}), "flag") is None
+
+
+def test_resolve_axes_defaults_mirror_the_paper():
+    entries = [summary("p", metrics={"test_acc": 0.9, "energy_nj": 3.0,
+                                     "latency_ms": 7.0})]
+    axes = resolve_axes(entries)
+    assert axes == [ParetoAxis("test_acc", "max"),
+                    ParetoAxis("energy_nj", "min"),
+                    ParetoAxis("latency_ms", "min")]
+    # Without a latency-like metric, wall clock is the latency proxy.
+    entries = [summary("p", metrics={"test_acc": 0.9})]
+    assert resolve_axes(entries) == [ParetoAxis("test_acc", "max"),
+                                     ParetoAxis("duration_s", "min")]
+    # Axes nobody carries are dropped; explicit axes pass through.
+    assert resolve_axes(entries, [ParetoAxis("nope")]) == []
+    assert resolve_axes(entries, [ParetoAxis("test_acc")]) == [
+        ParetoAxis("test_acc")]
+
+
+# ---------------------------------------------------------------------------
+# the front
+# ---------------------------------------------------------------------------
+
+def test_known_frontier():
+    result = pareto_front(KNOWN, AXES)
+    assert result["front"] == ["p000", "p001", "p003"]
+    by_id = {p["point_id"]: p for p in result["points"]}
+    assert by_id["p002"]["dominated_by"] == 2  # by p000 and p003
+    assert by_id["p002"]["on_front"] is False
+    assert by_id["p000"]["dominates"] == 1
+    # Strictly better on acc than p001/p002, on energy than p002 only
+    # (p001 is cheaper, p003 is an exact tie).
+    assert by_id["p000"]["per_axis_beats"] == {"acc": 2, "energy_nj": 1}
+    assert by_id["p000"]["values"] == {"acc": 0.90, "energy_nj": 10.0}
+    assert result["skipped"] == []
+
+
+def test_failed_and_metricless_points_are_skipped():
+    entries = KNOWN + [
+        summary("p004", status="failed"),
+        summary("p005", status="running"),
+        summary("p006", metrics={"acc": 0.99}),  # no energy value
+    ]
+    result = pareto_front(entries, AXES)
+    assert result["front"] == ["p000", "p001", "p003"]
+    assert {(s["point_id"], s["reason"]) for s in result["skipped"]} == {
+        ("p004", "failed"), ("p005", "running"),
+        ("p006", "missing_metric")}
+    # A skipped point never enters dominance counts.
+    by_id = {p["point_id"]: p for p in result["points"]}
+    assert "p006" not in by_id
+    assert by_id["p000"]["dominates"] == 1
+
+
+def test_single_axis_front_is_the_argmax():
+    result = pareto_front(KNOWN, [ParetoAxis("acc", "max")])
+    assert result["front"] == ["p000", "p003"]
+
+
+def test_pareto_table_front_first_best_leading():
+    headers, rows = pareto_table(pareto_front(KNOWN, AXES))
+    assert headers[:2] == ["point", "front"]
+    assert "acc (max)" in headers and "energy_nj (min)" in headers
+    assert [r[0] for r in rows] == ["p000", "p003", "p001", "p002"]
+    assert [r[1] for r in rows] == ["*", "*", "*", ""]
+
+
+# ---------------------------------------------------------------------------
+# CLI over a synthetic sweep
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def sweep_on_disk(tmp_path):
+    """A 3-point sweep directory: two complete points, one failed."""
+    base = get_scenario("offline_accuracy").build_spec(tiny=True).replace(
+        backends=("backprop",), n_train=40, n_test=20)
+    spec = SweepSpec(name="epochs_sweep", base=base,
+                     grid=(SweepAxis("epochs", (1, 2, 3)),),
+                     objective="backprop.test_acc")
+    store = SweepStore(tmp_path)
+    sweep = store.create_sweep(spec, "20260101-000000-abc123")
+    lines = [
+        summary("p000", metrics={"backprop.test_acc": 0.90,
+                                 "energy_nj": 10.0}),
+        summary("p001", metrics={"backprop.test_acc": 0.80,
+                                 "energy_nj": 5.0}),
+        summary("p002", status="failed"),
+    ]
+    for line, status in zip(lines, ("complete", "complete", "failed")):
+        sweep = store.update_point(sweep, line["point_id"],
+                                   run_id=line["run_id"], status=status)
+        store.append_summary(sweep, line)
+    store.update_status(sweep, "failed")
+    return tmp_path, sweep.sweep_id
+
+
+def test_cli_sweep_pareto_table(sweep_on_disk, capsys):
+    root, sweep_id = sweep_on_disk
+    assert cli.main(["sweep", "pareto", sweep_id,
+                     "--out", str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "pareto front" in out
+    assert "2/2 point(s) on front" in out
+    assert "backprop.test_acc:max" in out and "energy_nj:min" in out
+    assert "1 point(s) excluded: p002 (failed)" in out
+
+
+def test_cli_sweep_pareto_json_and_explicit_axes(sweep_on_disk, capsys):
+    root, sweep_id = sweep_on_disk
+    assert cli.main(["sweep", "pareto", sweep_id, "--out", str(root),
+                     "--axis", "backprop.test_acc:max",
+                     "--axis", "energy_nj:min", "--json"]) == 0
+    result = json.loads(capsys.readouterr().out)
+    assert result["front"] == ["p000", "p001"]
+    assert result["axes"] == [
+        {"metric": "backprop.test_acc", "mode": "max"},
+        {"metric": "energy_nj", "mode": "min"}]
+
+
+def test_cli_sweep_pareto_no_scored_points_errors(sweep_on_disk, capsys):
+    root, sweep_id = sweep_on_disk
+    assert cli.main(["sweep", "pareto", sweep_id, "--out", str(root),
+                     "--axis", "no_such_metric"]) == 2
+    assert "no complete points" in capsys.readouterr().err
+
+
+def test_cli_sweep_show_renders_failed_without_crashing(sweep_on_disk,
+                                                        capsys):
+    root, sweep_id = sweep_on_disk
+    assert cli.main(["sweep", "show", sweep_id, "--out", str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "FAILED" in out
+    assert "excluded from best-point/marginals/pareto" in out
+    assert "best:p000" in out  # failed point never wins best
+    # --strict is the only path to a non-zero exit.
+    assert cli.main(["sweep", "show", sweep_id, "--out", str(root),
+                     "--strict"]) == 1
+
+
+def test_cli_sweep_compare_failed_points(sweep_on_disk, capsys):
+    root, sweep_id = sweep_on_disk
+    assert cli.main(["sweep", "compare", sweep_id, sweep_id,
+                     "--out", str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "sweeps side by side" in out
+    assert "p000" in out
+    assert cli.main(["sweep", "compare", sweep_id,
+                     "--out", str(root), "--strict"]) == 1
